@@ -1,0 +1,87 @@
+// Ablation A5 — the paper's Section V future work, implemented and
+// measured: overlapped ("second stream") global relabeling vs the default
+// synchronous one.
+//
+// The overlapped relabel interleaves one shadow-BFS level kernel per main
+// loop and publishes only snapshots that no push invalidated
+// (apply-if-clean — see AsyncGlobalRelabel for why wholesale import is
+// unsound).  On a real device the win is hidden launch latency; the
+// modeled column credits overlapped level kernels with latency hiding,
+// the counters show the algorithmic price (discarded snapshots, extra
+// loops on stale labels).
+
+#include <iostream>
+#include <vector>
+
+#include "harness_common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bpm;
+  using namespace bpm::bench;
+
+  CliParser cli("ablation_async_gr",
+                "Synchronous vs stream-overlapped global relabeling");
+  register_suite_flags(cli);
+  cli.parse(argc, argv);
+  const SuiteOptions opt = suite_options_from_cli(cli);
+
+  const auto suite = build_suite(opt);
+  print_header("Ablation — concurrent global relabeling (paper §V)", opt,
+               suite.size());
+
+  device::Device dev(
+      {.mode = device::ExecMode::kConcurrent, .num_threads = opt.threads});
+  const double launch_us = device::DeviceModel{}.launch_latency_us;
+
+  bool all_ok = true;
+  Table table({"mode", "modeled geomean (s)", "overlap-credit (s)", "loops",
+               "applied", "discarded"},
+              4);
+  for (const bool async : {false, true}) {
+    std::vector<double> modeled, credited;
+    std::int64_t loops = 0, applied = 0, discarded = 0;
+    for (const auto& bi : suite) {
+      gpu::GprOptions gpr;
+      gpr.concurrent_global_relabel = async;
+      Timer t;
+      const auto result = gpu::g_pr(dev, bi.g, bi.init, gpr);
+      all_ok &= result.matching.cardinality() == bi.maximum_cardinality;
+      loops += result.stats.loops;
+      applied += result.stats.global_relabels;
+      discarded += result.stats.async_discarded;
+      modeled.push_back(result.stats.modeled_ms / 1e3);
+      // Credit: overlapped level kernels launch alongside push kernels,
+      // hiding their launch latency (the dominant term on deep-BFS
+      // instances).
+      const double credit =
+          async ? result.stats.modeled_ms / 1e3 -
+                      static_cast<double>(result.stats.gr_level_kernels) *
+                          launch_us * 1e-6
+                : result.stats.modeled_ms / 1e3;
+      credited.push_back(std::max(credit, 1e-9));
+      if (opt.verbose)
+        std::cout << "  " << bi.meta.name << (async ? " async" : " sync")
+                  << ": modeled " << result.stats.modeled_ms / 1e3
+                  << " s, loops " << result.stats.loops << ", discarded "
+                  << result.stats.async_discarded << "\n";
+    }
+    table.add_row({std::string(async ? "overlapped (async)" : "synchronous"),
+                   geometric_mean(modeled), geometric_mean(credited), loops,
+                   applied, discarded});
+  }
+
+  if (opt.csv)
+    std::cout << table.to_csv();
+  else
+    table.print(std::cout);
+  std::cout
+      << "\nReading: 'modeled' charges every kernel sequentially (no overlap"
+         " benefit, so async shows its pure algorithmic cost: stale labels ->"
+         " more loops, dirty snapshots discarded).  'overlap-credit' removes"
+         " the launch latency of overlapped level kernels — the upper bound"
+         " of what dual-stream execution can hide (paper §V).\n";
+  return all_ok ? 0 : 1;
+}

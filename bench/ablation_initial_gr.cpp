@@ -1,0 +1,68 @@
+// Ablation A2 (paper §III-A): the forced global relabel at loop 0.  The
+// paper: "applying a global relabeling at the beginning of the main while
+// loop of G-PR leads [to] significant performance improvements".  This
+// harness runs G-PR-Shr with and without the initial relabel and reports
+// per-class and overall geomeans.
+
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "harness_common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bpm;
+  using namespace bpm::bench;
+
+  CliParser cli("ablation_initial_gr",
+                "Initial global relabel on/off for G-PR-Shr");
+  register_suite_flags(cli);
+  cli.parse(argc, argv);
+  const SuiteOptions opt = suite_options_from_cli(cli);
+
+  const auto suite = build_suite(opt);
+  print_header("Ablation — initial global relabel", opt, suite.size());
+
+  device::Device dev(
+      {.mode = device::ExecMode::kConcurrent, .num_threads = opt.threads});
+
+  bool all_ok = true;
+  std::map<std::string, std::vector<double>> with_gr, without_gr;
+  std::vector<double> all_with, all_without;
+  for (const auto& bi : suite) {
+    const std::string cls = graph::to_string(bi.meta.cls);
+    for (const bool initial : {true, false}) {
+      gpu::GprOptions gpr;
+      gpr.initial_global_relabel = initial;
+      const AlgoResult r = run_g_pr(dev, bi, gpr);
+      all_ok &= r.ok;
+      const double t = device_seconds(r, opt);
+      (initial ? with_gr : without_gr)[cls].push_back(t);
+      (initial ? all_with : all_without).push_back(t);
+      if (opt.verbose)
+        std::cout << "  " << bi.meta.name << (initial ? " with" : " without")
+                  << " initial GR: " << t << " s\n";
+    }
+  }
+
+  Table table({"class", "with initial GR (s)", "without (s)", "ratio"}, 4);
+  for (const auto& [cls, times] : with_gr) {
+    const double a = geometric_mean(times);
+    const double b = geometric_mean(without_gr[cls]);
+    table.add_row({cls, a, b, b / a});
+  }
+  const double ga = geometric_mean(all_with);
+  const double gb = geometric_mean(all_without);
+  table.add_row({std::string("ALL"), ga, gb, gb / ga});
+
+  if (opt.csv)
+    std::cout << table.to_csv();
+  else
+    table.print(std::cout);
+  std::cout << "\nExpected shape: ratio > 1 overall (initial GR helps), "
+               "with the biggest effect where the greedy init leaves many "
+               "unmatchable columns (power-law classes).\n";
+  return all_ok ? 0 : 1;
+}

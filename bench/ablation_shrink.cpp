@@ -1,0 +1,83 @@
+// Ablation A1 (paper §III-C2): the shrink threshold.  The paper enables
+// G-PR-SHRKRNL only while |Ac| >= 512, arguing the compaction stops paying
+// for itself below that.  This sweep measures G-PR-Shr geomean runtime for
+// thresholds {1 (always shrink), 128, 512, 2048, never} plus G-PR-NoShr as
+// the reference point.
+
+#include <iostream>
+#include <limits>
+#include <vector>
+
+#include "harness_common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bpm;
+  using namespace bpm::bench;
+
+  CliParser cli("ablation_shrink",
+                "Shrink-threshold sweep for G-PR-Shr (paper uses 512)");
+  register_suite_flags(cli);
+  cli.parse(argc, argv);
+  const SuiteOptions opt = suite_options_from_cli(cli);
+
+  const auto suite = build_suite(opt);
+  print_header("Ablation — active-list shrink threshold", opt, suite.size());
+
+  device::Device dev(
+      {.mode = device::ExecMode::kConcurrent, .num_threads = opt.threads});
+
+  struct Config {
+    std::string label;
+    gpu::GprVariant variant;
+    graph::index_t threshold;
+  };
+  const std::vector<Config> configs = {
+      {"always (1)", gpu::GprVariant::kShrink, 1},
+      {"128", gpu::GprVariant::kShrink, 128},
+      {"512 (paper)", gpu::GprVariant::kShrink, 512},
+      {"2048", gpu::GprVariant::kShrink, 2048},
+      {"never (NoShr)", gpu::GprVariant::kNoShrink,
+       std::numeric_limits<graph::index_t>::max()},
+  };
+
+  bool all_ok = true;
+  Table table({"threshold", "modeled geomean (s)", "wall geomean (s)",
+               "total shrinks"},
+              4);
+  for (const auto& cfg : configs) {
+    std::vector<double> modeled, wall;
+    std::int64_t shrinks = 0;
+    for (const auto& bi : suite) {
+      gpu::GprOptions gpr;
+      gpr.variant = cfg.variant;
+      gpr.shrink_threshold = cfg.threshold;
+      // Re-run g_pr directly to collect stats alongside the timing.
+      Timer t;
+      const auto result = gpu::g_pr(dev, bi.g, bi.init, gpr);
+      const double secs = t.elapsed_s();
+      all_ok &= result.matching.cardinality() == bi.maximum_cardinality;
+      modeled.push_back(result.stats.modeled_ms / 1e3);
+      wall.push_back(secs);
+      shrinks += result.stats.shrinks;
+      if (opt.verbose)
+        std::cout << "  " << cfg.label << " " << bi.meta.name << ": "
+                  << result.stats.modeled_ms / 1e3 << " s modeled, " << secs
+                  << " s wall, " << result.stats.shrinks << " shrinks\n";
+    }
+    table.add_row({cfg.label, geometric_mean(modeled), geometric_mean(wall),
+                   shrinks});
+  }
+
+  if (opt.csv)
+    std::cout << table.to_csv();
+  else
+    table.print(std::cout);
+  std::cout << "\nExpected shape: a shallow optimum at a moderate threshold "
+               "— shrinking always adds overhead on short lists, never "
+               "shrinking keeps long stale lists (paper reports 2-8% gain "
+               "for 512 over NoShr).\n";
+  return all_ok ? 0 : 1;
+}

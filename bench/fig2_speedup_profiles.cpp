@@ -1,0 +1,80 @@
+// Reproduces paper Figure 2: speedup profiles of the parallel algorithms
+// (G-PR, G-HKDW, P-DBFS) relative to sequential PR.  A point (x, y) means:
+// with probability y, the algorithm achieves speedup at least x over PR on
+// a random instance of the suite.
+//
+// Paper shape: G-PR dominates — P(speedup >= 5) is 39% for G-PR vs 21%
+// (G-HKDW) and 14% (P-DBFS); G-PR beats PR on 82% of graphs.
+
+#include <iostream>
+#include <vector>
+
+#include "harness_common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bpm;
+  using namespace bpm::bench;
+
+  CliParser cli("fig2_speedup_profiles",
+                "Figure 2: speedup profiles of G-PR, G-HKDW, P-DBFS vs "
+                "sequential PR");
+  register_suite_flags(cli);
+  cli.parse(argc, argv);
+  const SuiteOptions opt = suite_options_from_cli(cli);
+
+  const auto suite = build_suite(opt);
+  print_header("Figure 2 — speedup profiles vs sequential PR", opt,
+               suite.size());
+
+  device::Device dev(
+      {.mode = device::ExecMode::kConcurrent, .num_threads = opt.threads});
+
+  bool all_ok = true;
+  std::vector<double> spd_gpr, spd_ghkdw, spd_pdbfs;
+  for (const auto& bi : suite) {
+    const AlgoResult pr = run_seq_pr(bi);
+    const AlgoResult gpr = run_g_pr(dev, bi, gpu::GprOptions{});
+    const AlgoResult ghkdw = run_g_hkdw(dev, bi);
+    const AlgoResult pdbfs = run_p_dbfs(bi, opt.threads);
+    all_ok &= pr.ok && gpr.ok && ghkdw.ok && pdbfs.ok;
+    spd_gpr.push_back(pr.seconds / device_seconds(gpr, opt));
+    spd_ghkdw.push_back(pr.seconds / device_seconds(ghkdw, opt));
+    spd_pdbfs.push_back(pr.seconds / pdbfs.seconds);
+    if (opt.verbose)
+      std::cout << "  " << bi.meta.name << ": PR=" << pr.seconds
+                << "s  G-PR x" << spd_gpr.back() << "  G-HKDW x"
+                << spd_ghkdw.back() << "  P-DBFS x" << spd_pdbfs.back()
+                << '\n';
+  }
+
+  std::vector<double> xs;
+  for (double x = 0.0; x <= 10.0; x += 0.5) xs.push_back(x);
+
+  Table table({"x (speedup)", "G-PR", "G-HKDW", "P-DBFS"}, 3);
+  const auto p_gpr = speedup_profile(spd_gpr, xs);
+  const auto p_ghkdw = speedup_profile(spd_ghkdw, xs);
+  const auto p_pdbfs = speedup_profile(spd_pdbfs, xs);
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    table.add_row({xs[i], p_gpr[i].fraction, p_ghkdw[i].fraction,
+                   p_pdbfs[i].fraction});
+
+  std::cout << "\nP(speedup >= x) over the suite (paper Figure 2):\n";
+  if (opt.csv)
+    std::cout << table.to_csv();
+  else
+    table.print(std::cout);
+
+  auto frac_at = [&](const std::vector<ProfilePoint>& p, double x) {
+    for (const auto& pt : p)
+      if (pt.x == x) return pt.fraction;
+    return 0.0;
+  };
+  std::cout << "\nKey paper numbers: P(>=5) was 0.39 / 0.21 / 0.14 and "
+               "P(>=1) for G-PR was 0.82.\n"
+            << "Measured:          P(>=5) = " << frac_at(p_gpr, 5.0) << " / "
+            << frac_at(p_ghkdw, 5.0) << " / " << frac_at(p_pdbfs, 5.0)
+            << "; P(>=1) for G-PR = " << frac_at(p_gpr, 1.0) << "\n";
+  return all_ok ? 0 : 1;
+}

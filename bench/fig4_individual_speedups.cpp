@@ -1,0 +1,64 @@
+// Reproduces paper Figure 4: the individual speedup of G-PR over
+// sequential PR on each of the 28 graphs, ordered (as in Table I) by
+// increasing number of rows.
+//
+// Paper shape: speedups from 0.31 (hugetrace-00000) to 12.60
+// (delaunay_n24), average 3.05; G-PR wins on 23 of 28 graphs and loses on
+// the huge-diameter mesh instances.
+
+#include <iostream>
+#include <vector>
+
+#include "harness_common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bpm;
+  using namespace bpm::bench;
+
+  CliParser cli("fig4_individual_speedups",
+                "Figure 4: per-graph speedup of G-PR over sequential PR");
+  register_suite_flags(cli);
+  cli.parse(argc, argv);
+  const SuiteOptions opt = suite_options_from_cli(cli);
+
+  const auto suite = build_suite(opt);
+  print_header("Figure 4 — individual G-PR speedups vs sequential PR", opt,
+               suite.size());
+
+  device::Device dev(
+      {.mode = device::ExecMode::kConcurrent, .num_threads = opt.threads});
+
+  bool all_ok = true;
+  Table table({"id", "graph", "class", "PR (s)", "G-PR (s)", "speedup",
+               "paper speedup"},
+              3);
+  std::vector<double> speedups;
+  std::size_t wins = 0;
+  for (const auto& bi : suite) {
+    const AlgoResult pr = run_seq_pr(bi);
+    const AlgoResult gpr = run_g_pr(dev, bi, gpu::GprOptions{});
+    all_ok &= pr.ok && gpr.ok;
+    const double t_gpr = device_seconds(gpr, opt);
+    const double speedup = pr.seconds / t_gpr;
+    speedups.push_back(speedup);
+    if (speedup > 1.0) ++wins;
+    table.add_row({static_cast<std::int64_t>(bi.meta.id), bi.meta.name,
+                   std::string(graph::to_string(bi.meta.cls)), pr.seconds,
+                   t_gpr, speedup,
+                   bi.meta.paper.pr_s / bi.meta.paper.g_pr_s});
+  }
+
+  if (opt.csv)
+    std::cout << table.to_csv();
+  else
+    table.print(std::cout);
+
+  const Summary s = summarize(speedups);
+  std::cout << "\nSpeedup range " << s.min << " – " << s.max
+            << ", arithmetic mean " << s.mean << " (paper: 0.31 – 12.60, "
+            << "mean 3.05); G-PR faster than PR on " << wins << "/"
+            << suite.size() << " graphs (paper: 23/28).\n";
+  return all_ok ? 0 : 1;
+}

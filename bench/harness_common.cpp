@@ -1,0 +1,119 @@
+#include "harness_common.hpp"
+
+#include <iostream>
+#include <thread>
+
+#include "matching/greedy.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/seq_pr.hpp"
+#include "util/timer.hpp"
+
+namespace bpm::bench {
+
+void register_suite_flags(CliParser& cli, int default_stride) {
+  cli.add_option("scale", "instance size relative to the paper's (Table I)",
+                 "0.015625");
+  cli.add_option("seed", "generator seed", "1");
+  cli.add_option("stride", "use every stride-th instance of the 28",
+                 std::to_string(default_stride));
+  cli.add_option("threads", "worker threads (0 = hardware)", "0");
+  cli.add_flag("verbose", "per-instance rows in addition to aggregates");
+  cli.add_flag("csv", "emit CSV instead of aligned tables");
+  cli.add_flag("no-model",
+               "report raw simulator wall time for GPU algorithms instead "
+               "of modeled C2050 device time");
+}
+
+SuiteOptions suite_options_from_cli(const CliParser& cli) {
+  SuiteOptions opt;
+  opt.scale = cli.get_double("scale");
+  opt.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  opt.stride = static_cast<int>(cli.get_int("stride"));
+  opt.threads = static_cast<unsigned>(cli.get_int("threads"));
+  opt.verbose = cli.get_flag("verbose");
+  opt.csv = cli.get_flag("csv");
+  opt.no_model = cli.get_flag("no-model");
+  return opt;
+}
+
+BuiltInstance build_instance(const graph::Instance& meta,
+                             const SuiteOptions& opt) {
+  BuiltInstance bi{meta, meta.build(opt.scale, opt.seed + static_cast<std::uint64_t>(meta.id)),
+                   {}, 0, 0};
+  bi.init = matching::cheap_matching(bi.g);
+  bi.initial_cardinality = bi.init.cardinality();
+  // Ground truth via Hopcroft–Karp (thoroughly tested against the O(V·E)
+  // reference in tests/); the quadratic reference would dominate harness
+  // time at bench scales.
+  bi.maximum_cardinality = matching::hopcroft_karp(bi.g, bi.init).cardinality();
+  return bi;
+}
+
+std::vector<BuiltInstance> build_suite(const SuiteOptions& opt) {
+  std::vector<BuiltInstance> out;
+  for (const auto& meta : graph::select_instances(opt.stride))
+    out.push_back(build_instance(meta, opt));
+  return out;
+}
+
+namespace {
+
+AlgoResult check(const BuiltInstance& bi, double seconds,
+                 const matching::Matching& m) {
+  AlgoResult r;
+  r.seconds = seconds;
+  r.cardinality = m.cardinality();
+  r.ok = m.is_valid(bi.g) && r.cardinality == bi.maximum_cardinality;
+  if (!r.ok)
+    std::cerr << "RESULT CHECK FAILED on " << bi.meta.name << ": got "
+              << r.cardinality << ", want " << bi.maximum_cardinality
+              << (m.is_valid(bi.g) ? "" : " (invalid matching)") << '\n';
+  return r;
+}
+
+}  // namespace
+
+AlgoResult run_g_pr(device::Device& dev, const BuiltInstance& bi,
+                    const gpu::GprOptions& options) {
+  Timer t;
+  auto result = gpu::g_pr(dev, bi.g, bi.init, options);
+  AlgoResult r = check(bi, t.elapsed_s(), result.matching);
+  r.modeled_seconds = result.stats.modeled_ms / 1e3;
+  return r;
+}
+
+AlgoResult run_g_hkdw(device::Device& dev, const BuiltInstance& bi) {
+  Timer t;
+  auto result = gpu::g_hk(dev, bi.g, bi.init, {.duff_wiberg = true});
+  AlgoResult r = check(bi, t.elapsed_s(), result.matching);
+  r.modeled_seconds = result.stats.modeled_ms / 1e3;
+  return r;
+}
+
+AlgoResult run_p_dbfs(const BuiltInstance& bi, unsigned threads) {
+  Timer t;
+  auto result = mc::p_dbfs(bi.g, bi.init, {.num_threads = threads});
+  return check(bi, t.elapsed_s(), result.matching);
+}
+
+AlgoResult run_seq_pr(const BuiltInstance& bi) {
+  Timer t;
+  auto m = matching::seq_push_relabel(bi.g, bi.init);
+  return check(bi, t.elapsed_s(), m);
+}
+
+void print_header(const std::string& title, const SuiteOptions& opt,
+                  std::size_t num_instances) {
+  std::cout << "# " << title << '\n'
+            << "# instances: " << num_instances << " (stride " << opt.stride
+            << "), scale " << opt.scale << " of Table I sizes, seed "
+            << opt.seed << '\n'
+            << "# hardware: " << std::thread::hardware_concurrency()
+            << " hardware threads; device = CPU-simulated bulk-synchronous"
+               " engine (see DESIGN.md)\n"
+            << "# note: GPU algorithms report modeled C2050 device time by"
+               " default (DESIGN.md D9); pass --no-model for raw simulator"
+               " wall time.  CPU algorithms always report wall time.\n";
+}
+
+}  // namespace bpm::bench

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/g_hk.hpp"
+#include "core/g_pr.hpp"
+#include "device/device.hpp"
+#include "graph/instances.hpp"
+#include "matching/matching.hpp"
+#include "multicore/pdbfs.hpp"
+#include "util/cli.hpp"
+
+namespace bpm::bench {
+
+/// Options common to all paper-artifact harnesses.
+struct SuiteOptions {
+  double scale = 1.0 / 64.0;  ///< instance size relative to the paper's
+  std::uint64_t seed = 1;
+  int stride = 1;             ///< take every stride-th instance
+  unsigned threads = 0;       ///< device / multicore workers, 0 = hw
+  bool verbose = false;
+  bool csv = false;
+  /// Cross-architecture artifacts (Fig 2-4, Table I) use the modeled
+  /// C2050 device time for GPU algorithms by default (DESIGN.md D9);
+  /// --no-model switches them to raw host wall time of the simulator.
+  bool no_model = false;
+};
+
+/// Registers the shared flags on `cli`; call `cli.parse` afterwards and
+/// then `suite_options_from_cli`.  `default_stride` lets expensive sweeps
+/// (Figure 1 runs 21 configurations) default to a subset of the 28.
+void register_suite_flags(CliParser& cli, int default_stride = 1);
+[[nodiscard]] SuiteOptions suite_options_from_cli(const CliParser& cli);
+
+/// One generated instance with its cheap-matching initialisation.
+/// The paper times all algorithms *after* the common greedy init, so the
+/// init is built once here and handed to every algorithm.
+struct BuiltInstance {
+  graph::Instance meta;
+  graph::BipartiteGraph g;
+  matching::Matching init;
+  graph::index_t initial_cardinality = 0;
+  graph::index_t maximum_cardinality = 0;  ///< reference ground truth
+};
+
+/// Generates the (strided) instance suite at the requested scale and
+/// computes the reference maximum cardinality for result checking.
+[[nodiscard]] std::vector<BuiltInstance> build_suite(const SuiteOptions& opt);
+
+/// Builds a single instance by Table I id (1–28).
+[[nodiscard]] BuiltInstance build_instance(const graph::Instance& meta,
+                                           const SuiteOptions& opt);
+
+/// Result of timing one algorithm on one instance.  Every runner verifies
+/// the returned matching is valid and maximum against the reference
+/// cardinality, so benchmark numbers are backed by checked results;
+/// `ok == false` flags a mismatch (and makes the harness exit nonzero).
+struct AlgoResult {
+  double seconds = 0.0;          ///< host wall time of the run
+  double modeled_seconds = 0.0;  ///< device-model time; 0 for CPU algorithms
+  graph::index_t cardinality = 0;
+  bool ok = false;
+};
+
+/// The time to report for a device algorithm in cross-architecture
+/// comparisons: modeled C2050 time unless --no-model.
+[[nodiscard]] inline double device_seconds(const AlgoResult& r,
+                                           const SuiteOptions& opt) {
+  return opt.no_model || r.modeled_seconds == 0.0 ? r.seconds
+                                                  : r.modeled_seconds;
+}
+
+[[nodiscard]] AlgoResult run_g_pr(device::Device& dev, const BuiltInstance& bi,
+                                  const gpu::GprOptions& options);
+[[nodiscard]] AlgoResult run_g_hkdw(device::Device& dev,
+                                    const BuiltInstance& bi);
+[[nodiscard]] AlgoResult run_p_dbfs(const BuiltInstance& bi, unsigned threads);
+[[nodiscard]] AlgoResult run_seq_pr(const BuiltInstance& bi);
+
+/// Prints the standard harness header (instance count, scale, hardware).
+void print_header(const std::string& title, const SuiteOptions& opt,
+                  std::size_t num_instances);
+
+}  // namespace bpm::bench

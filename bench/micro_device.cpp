@@ -1,0 +1,83 @@
+// Microbenchmarks (google-benchmark) of the device execution engine: the
+// substrate costs that shape every number in the paper-artifact harnesses.
+//
+//  * launch overhead — the fixed fork/join cost per kernel; the unit in
+//    which global-relabel BFS depth hurts (one launch per level).
+//  * scan/reduce throughput — the primitives behind G-PR-SHRKRNL.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "device/device.hpp"
+#include "device/mem.hpp"
+#include "device/scan.hpp"
+
+namespace {
+
+using namespace bpm::device;
+
+void BM_LaunchOverheadEmptyKernel(benchmark::State& state) {
+  Device dev({.mode = static_cast<ExecMode>(state.range(0))});
+  for (auto _ : state) dev.launch(1, [](std::int64_t) {});
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LaunchOverheadEmptyKernel)
+    ->Arg(static_cast<int>(ExecMode::kSequential))
+    ->Arg(static_cast<int>(ExecMode::kConcurrent));
+
+void BM_LaunchThroughputTouchAll(benchmark::State& state) {
+  Device dev({.mode = ExecMode::kConcurrent});
+  const auto n = state.range(0);
+  relaxed_vector<std::int32_t> data(static_cast<std::size_t>(n), 0);
+  for (auto _ : state) {
+    dev.launch(n, [&](std::int64_t i) {
+      data.store(static_cast<std::size_t>(i),
+                 static_cast<std::int32_t>(i & 0xff));
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_LaunchThroughputTouchAll)->Range(1 << 10, 1 << 22);
+
+void BM_ExclusiveScan(benchmark::State& state) {
+  Device dev({.mode = ExecMode::kConcurrent});
+  const auto n = state.range(0);
+  std::vector<std::int64_t> in(static_cast<std::size_t>(n), 1);
+  std::vector<std::int64_t> out(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exclusive_scan(dev, in, out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_ExclusiveScan)->Range(1 << 10, 1 << 22);
+
+void BM_ReduceSum(benchmark::State& state) {
+  Device dev({.mode = ExecMode::kConcurrent});
+  const auto n = state.range(0);
+  std::vector<std::int64_t> in(static_cast<std::size_t>(n), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reduce_sum(dev, in));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_ReduceSum)->Range(1 << 10, 1 << 22);
+
+void BM_RelaxedVsSeqCstStore(benchmark::State& state) {
+  const bool seq_cst = state.range(0) != 0;
+  std::vector<relaxed_cell<std::int32_t>> cells(1 << 16);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    const auto j = static_cast<std::size_t>((i * 2654435761LL) & 0xffff);
+    if (seq_cst)
+      cells[j].store_seq_cst(static_cast<std::int32_t>(i));
+    else
+      cells[j].store(static_cast<std::int32_t>(i));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(seq_cst ? "seq_cst" : "relaxed");
+}
+BENCHMARK(BM_RelaxedVsSeqCstStore)->Arg(0)->Arg(1);
+
+}  // namespace

@@ -1,0 +1,90 @@
+// Microbenchmarks (google-benchmark) of the algorithm-level kernels on a
+// representative mid-size instance: the global relabel (G-GR, one BFS
+// level per launch), the full G-PR variants, the G-HKDW comparator, and
+// the cheap-matching initialisation that every algorithm shares.
+
+#include <benchmark/benchmark.h>
+
+#include "core/g_gr.hpp"
+#include "core/g_hk.hpp"
+#include "core/g_pr.hpp"
+#include "graph/generators.hpp"
+#include "matching/greedy.hpp"
+
+namespace {
+
+using namespace bpm;
+using device::Device;
+using device::ExecMode;
+
+const graph::BipartiteGraph& test_graph() {
+  static const graph::BipartiteGraph g =
+      graph::gen::chung_lu(50000, 50000, 6.0, 2.4, 42);
+  return g;
+}
+
+const matching::Matching& test_init() {
+  static const matching::Matching m = matching::cheap_matching(test_graph());
+  return m;
+}
+
+void BM_CheapMatching(benchmark::State& state) {
+  const auto& g = test_graph();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(matching::cheap_matching(g).cardinality());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          g.num_edges());
+}
+BENCHMARK(BM_CheapMatching);
+
+void BM_GlobalRelabel(benchmark::State& state) {
+  const auto& g = test_graph();
+  const auto& init = test_init();
+  Device dev({.mode = ExecMode::kConcurrent});
+  gpu::DeviceState st(g.num_rows(), g.num_cols());
+  st.mu_row.assign_from(init.row_match);
+  st.mu_col.assign_from(init.col_match);
+  for (auto _ : state) {
+    const auto r = gpu::g_gr(dev, g, st);
+    benchmark::DoNotOptimize(r.max_level);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          g.num_edges());
+}
+BENCHMARK(BM_GlobalRelabel);
+
+void BM_GprVariant(benchmark::State& state) {
+  const auto& g = test_graph();
+  const auto& init = test_init();
+  Device dev({.mode = ExecMode::kConcurrent});
+  gpu::GprOptions opt;
+  opt.variant = static_cast<gpu::GprVariant>(state.range(0));
+  for (auto _ : state) {
+    const auto r = gpu::g_pr(dev, g, init, opt);
+    benchmark::DoNotOptimize(r.matching.cardinality());
+  }
+  switch (opt.variant) {
+    case gpu::GprVariant::kFirst: state.SetLabel("First"); break;
+    case gpu::GprVariant::kNoShrink: state.SetLabel("NoShr"); break;
+    case gpu::GprVariant::kShrink: state.SetLabel("Shr"); break;
+  }
+}
+BENCHMARK(BM_GprVariant)
+    ->Arg(static_cast<int>(gpu::GprVariant::kFirst))
+    ->Arg(static_cast<int>(gpu::GprVariant::kNoShrink))
+    ->Arg(static_cast<int>(gpu::GprVariant::kShrink))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GHkdw(benchmark::State& state) {
+  const auto& g = test_graph();
+  const auto& init = test_init();
+  Device dev({.mode = ExecMode::kConcurrent});
+  for (auto _ : state) {
+    const auto r = gpu::g_hk(dev, g, init);
+    benchmark::DoNotOptimize(r.matching.cardinality());
+  }
+  state.SetLabel("G-HKDW");
+}
+BENCHMARK(BM_GHkdw)->Unit(benchmark::kMillisecond);
+
+}  // namespace

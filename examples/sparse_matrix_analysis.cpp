@@ -1,0 +1,121 @@
+// Structural analysis of a sparse matrix via maximum bipartite matching —
+// the sparse-direct-solver use case from the paper's introduction:
+// "maximum cardinality bipartite matching is employed routinely in sparse
+// linear solvers to see if the associated coefficient matrix is reducible".
+//
+// A maximum matching of the bipartite row-column graph gives:
+//   * the structural (sprank) rank of the matrix;
+//   * structural nonsingularity (sprank == n): a permutation to a
+//     zero-free diagonal exists, the precondition for LU-style
+//     factorisations and for the Dulmage–Mendelsohn decomposition;
+//   * the column permutation itself, printed on request.
+//
+// Usage:
+//   sparse_matrix_analysis [matrix.mtx]
+//
+// Without an argument a demonstration matrix (a structurally singular
+// arrowhead variant) is analysed.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/g_pr.hpp"
+#include "device/device.hpp"
+#include "graph/builder.hpp"
+#include "graph/matrix_market.hpp"
+#include "matching/dulmage_mendelsohn.hpp"
+#include "matching/greedy.hpp"
+#include "matching/verify.hpp"
+
+namespace {
+
+bpm::graph::BipartiteGraph demo_matrix() {
+  // A 6x6 "broken arrowhead": rows 4 and 5 have entries only in column 0,
+  // and columns 4 and 5 only in row 0.  Any diagonal assignment can use
+  // column 0 for one of rows {4, 5} and row 0 for one of columns {4, 5},
+  // so the structural rank is 5 — no zero-free diagonal exists.
+  std::vector<bpm::graph::Edge> entries;
+  for (bpm::graph::index_t i = 0; i < 6; ++i) {
+    entries.push_back({0, i});
+    entries.push_back({i, 0});
+  }
+  for (bpm::graph::index_t i = 1; i <= 3; ++i) entries.push_back({i, i});
+  return bpm::graph::build_from_edges(6, 6, entries);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bpm;
+
+  graph::BipartiteGraph g;
+  if (argc > 1) {
+    std::cout << "reading " << argv[1] << "\n";
+    g = graph::read_matrix_market_file(argv[1]);
+  } else {
+    std::cout << "no file given; using the built-in demonstration matrix\n";
+    g = demo_matrix();
+  }
+  std::cout << "matrix: " << g.describe() << "\n";
+
+  device::Device dev;
+  const matching::Matching init = matching::cheap_matching(g);
+  const gpu::GprResult result = gpu::g_pr(dev, g, init);
+  const graph::index_t sprank = result.matching.cardinality();
+
+  const graph::index_t n = std::min(g.num_rows(), g.num_cols());
+  std::cout << "structural rank (sprank): " << sprank << " of " << n << "\n";
+  if (g.num_rows() == g.num_cols() && sprank == g.num_rows()) {
+    std::cout << "matrix is structurally NONSINGULAR: a row permutation "
+                 "yields a zero-free diagonal.\n";
+  } else {
+    std::cout << "matrix is structurally singular or rectangular; "
+              << (n - sprank)
+              << " diagonal entries cannot be made nonzero.\n";
+  }
+
+  // The permutation: row u takes the slot of its matched column, giving
+  // A(perm, :) a zero-free diagonal on the matched block.
+  if (g.num_rows() <= 32) {
+    std::cout << "row -> column assignment:\n";
+    for (graph::index_t u = 0; u < g.num_rows(); ++u) {
+      const graph::index_t v =
+          result.matching.row_match[static_cast<std::size_t>(u)];
+      std::cout << "  row " << u << " -> "
+                << (v == matching::kUnmatched ? std::string("(unmatched)")
+                                              : "col " + std::to_string(v))
+                << "\n";
+    }
+  }
+
+  if (!matching::is_maximum(g, result.matching)) {
+    std::cerr << "internal error: certificate says matching is not maximum\n";
+    return 1;
+  }
+  std::cout << "certificate: no augmenting path exists (Berge) — sprank is "
+               "exact.\n";
+
+  // Dulmage-Mendelsohn: the reducibility analysis the paper's intro
+  // motivates.  Coarse: under/over-determined parts.  Fine: the diagonal
+  // blocks of the block-triangular form a direct solver factorises
+  // independently.
+  const auto dm = matching::dulmage_mendelsohn(g, result.matching);
+  std::cout << "\nDulmage-Mendelsohn coarse decomposition:\n"
+            << "  underdetermined (horizontal): " << dm.horizontal_rows
+            << " rows x " << dm.horizontal_cols << " cols\n"
+            << "  well-determined (square):     " << dm.square_rows
+            << " rows x " << dm.square_cols << " cols\n"
+            << "  overdetermined (vertical):    " << dm.vertical_rows
+            << " rows x " << dm.vertical_cols << " cols\n";
+  const auto fine = matching::fine_decomposition(g, result.matching, dm);
+  if (dm.square_rows > 0) {
+    std::cout << "block-triangular form of the square part: "
+              << fine.num_blocks << " diagonal block(s) — the matrix is "
+              << (fine.is_irreducible()
+                      ? "IRREDUCIBLE (no savings from BTF)"
+                      : "REDUCIBLE (factor each block independently)")
+              << "\n";
+  }
+  return 0;
+}

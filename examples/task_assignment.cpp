@@ -1,0 +1,89 @@
+// Task assignment — the scheduling application from the paper's
+// introduction.  A compute cluster has machines with capability tags and a
+// queue of jobs, each runnable only on machines holding its tag.  Maximum
+// cardinality matching assigns as many jobs as possible to distinct
+// machines; the example also shows how far plain greedy assignment falls
+// short of the optimum found by the push-relabel matcher.
+//
+// Usage:
+//   task_assignment [num_machines] [num_jobs] [seed]
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/g_pr.hpp"
+#include "device/device.hpp"
+#include "graph/builder.hpp"
+#include "matching/greedy.hpp"
+#include "matching/verify.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bpm;
+
+  const graph::index_t num_machines =
+      argc > 1 ? static_cast<graph::index_t>(std::atoi(argv[1])) : 2000;
+  const graph::index_t num_jobs =
+      argc > 2 ? static_cast<graph::index_t>(std::atoi(argv[2])) : 2400;
+  const std::uint64_t seed =
+      argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 7;
+
+  // Capabilities: a few common tags plus a long tail of rare ones —
+  // queues look Zipfian in practice, which is exactly where greedy
+  // assignment traps itself.
+  constexpr int kTags = 24;
+  Rng rng(seed);
+  std::vector<std::vector<graph::index_t>> machines_with_tag(kTags);
+  for (graph::index_t m = 0; m < num_machines; ++m) {
+    const int ntags = 1 + static_cast<int>(rng.below(3));
+    for (int t = 0; t < ntags; ++t) {
+      const auto tag = static_cast<std::size_t>(
+          rng.below(static_cast<std::uint64_t>(kTags)));
+      machines_with_tag[tag].push_back(m);
+    }
+  }
+  std::vector<graph::Edge> eligible;
+  for (graph::index_t j = 0; j < num_jobs; ++j) {
+    // Zipf-ish tag choice: tag k with weight ~ 1/(k+1).
+    std::size_t tag = 0;
+    double mass = rng.uniform() * 3.8;  // ~ H(24)
+    while (tag + 1 < kTags && (mass -= 1.0 / static_cast<double>(tag + 1)) > 0)
+      ++tag;
+    for (graph::index_t m : machines_with_tag[tag])
+      eligible.push_back({m, j});
+  }
+
+  const graph::BipartiteGraph g =
+      graph::build_from_edges(num_machines, num_jobs, eligible);
+  std::cout << "cluster: " << num_machines << " machines, " << num_jobs
+            << " jobs, " << g.num_edges() << " eligible (machine, job) pairs\n";
+
+  // Greedy dispatch (what a naive scheduler does).
+  const matching::Matching greedy = matching::cheap_matching(g);
+  std::cout << "greedy dispatch assigns:   " << greedy.cardinality()
+            << " jobs\n";
+
+  // Maximum assignment via GPU push-relabel, starting from the greedy one.
+  device::Device dev;
+  const gpu::GprResult result = gpu::g_pr(dev, g, greedy);
+  std::cout << "push-relabel assigns:      " << result.matching.cardinality()
+            << " jobs ("
+            << result.matching.cardinality() - greedy.cardinality()
+            << " recovered by augmentation)\n";
+
+  const graph::index_t unassigned =
+      num_jobs - result.matching.cardinality();
+  std::cout << "provably unassignable:     " << unassigned
+            << " jobs (no eligible machine remains under ANY assignment)\n";
+
+  if (!matching::is_maximum(g, result.matching)) {
+    std::cerr << "internal error: assignment is not maximum\n";
+    return 1;
+  }
+  std::cout << "solver stats: " << result.stats.loops << " loops, "
+            << result.stats.global_relabels << " global relabels, "
+            << result.stats.device_launches << " kernel launches\n";
+  return 0;
+}

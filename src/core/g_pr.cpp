@@ -1,0 +1,409 @@
+#include "core/g_pr.hpp"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/relabel_policy.hpp"
+#include "util/timer.hpp"
+
+namespace bpm::gpu {
+
+namespace {
+
+using matching::kUnmatchable;
+using matching::kUnmatched;
+
+/// The matching invariant's activity test (DESIGN.md D3): a column is
+/// active iff it is unmatched or its match was stolen.  Only evaluated by
+/// the thread owning v (within kernels) or between launches, so its two
+/// loads cannot race with this thread's own writes.
+inline bool is_active_column(const DeviceState& st, index_t v) {
+  const index_t mu_v = st.mu_col.load(static_cast<std::size_t>(v));
+  if (mu_v == kUnmatched) return true;
+  if (mu_v < 0) return false;  // kUnmatchable
+  return st.mu_row.load(static_cast<std::size_t>(mu_v)) != v;
+}
+
+/// Γ(v) scan of every push kernel: the minimum-ψ row, with the paper's
+/// early exit at the infimum ψ(v) − 1 (neighborhood invariant).
+struct MinScan {
+  index_t psi_min;
+  index_t u_min;
+  std::int64_t scanned;  ///< adjacency entries inspected (device model work)
+};
+
+inline MinScan scan_min_row(const BipartiteGraph& g, const DeviceState& st,
+                            index_t v, index_t psi_v, index_t psi_inf) {
+  MinScan r{psi_inf, kUnmatched, 0};
+  for (index_t u : g.col_neighbors(v)) {
+    ++r.scanned;
+    const index_t pu = st.psi_row.load(static_cast<std::size_t>(u));
+    if (pu < r.psi_min) {
+      r.psi_min = pu;
+      r.u_min = u;
+      if (r.psi_min == psi_v - 1) break;
+    }
+  }
+  return r;
+}
+
+std::int64_t loop_bound(const BipartiteGraph& g, const GprOptions& options) {
+  if (options.max_loops == 0) return INT64_MAX;
+  if (options.max_loops > 0) return options.max_loops;
+  return 64 * static_cast<std::int64_t>(g.psi_infinity()) + 1024;
+}
+
+[[noreturn]] void loop_bound_exceeded() {
+  throw std::runtime_error(
+      "g_pr: loop bound exceeded — termination regression (see DESIGN.md D8)");
+}
+
+/// Schedules global relabels for both drivers: synchronous G-GR calls, or
+/// — with options.concurrent_global_relabel — the stream-overlapped
+/// shadow relabel for every non-initial one (the initial relabel stays
+/// synchronous; the paper found exact labels before the first push kernel
+/// critical).  Returns true when fresh labels were published this loop
+/// (the active-list driver uses that as its shrink trigger).
+class RelabelScheduler {
+ public:
+  RelabelScheduler(const BipartiteGraph& g, const GprOptions& options)
+      : options_(options), async_(g.num_rows(), g.num_cols()) {
+    iter_gr_ = options.initial_global_relabel
+                   ? 0
+                   : next_global_relabel_loop(options, /*max_level=*/8, 0);
+  }
+
+  bool on_loop(device::Device& dev, const BipartiteGraph& g, DeviceState& st,
+               std::int64_t loop, GprStats& stats, Timer& timer) {
+    bool published = false;
+    const bool overlap =
+        options_.concurrent_global_relabel && stats.global_relabels > 0;
+    if (!overlap) {
+      if (loop == iter_gr_) {
+        timer.restart();
+        const GrResult gr = g_gr(dev, g, st);
+        stats.gr_ms += timer.elapsed_ms();
+        ++stats.global_relabels;
+        stats.gr_level_kernels += gr.level_kernels;
+        max_level_ = gr.max_level;
+        stats.last_max_level = max_level_;
+        iter_gr_ = next_global_relabel_loop(options_, max_level_, loop);
+        published = true;
+      }
+      return published;
+    }
+    timer.restart();
+    if (loop >= iter_gr_ && !async_.running()) {
+      if (dirty_completions_ >= kMaxDirtyRetries) {
+        // Contention keeps invalidating the snapshots; pay for one
+        // synchronous relabel to guarantee fresh labels.
+        const GrResult gr = g_gr(dev, g, st);
+        ++stats.global_relabels;
+        stats.gr_level_kernels += gr.level_kernels;
+        max_level_ = gr.max_level;
+        stats.last_max_level = max_level_;
+        iter_gr_ = next_global_relabel_loop(options_, max_level_, loop);
+        dirty_completions_ = 0;
+        stats.gr_ms += timer.elapsed_ms();
+        return true;
+      }
+      st.mu_dirty.reset();
+      async_.start(dev, g, st);
+      ++stats.concurrent_relabels;
+    }
+    if (async_.running()) {
+      ++stats.gr_level_kernels;
+      if (async_.step(dev, g)) {
+        if (st.mu_dirty.is_raised()) {
+          // Pushes rewired the matching mid-flight: the snapshot labels
+          // may over-estimate and must be discarded (see
+          // AsyncGlobalRelabel's contract).  Retry with a fresh snapshot
+          // on the next loop.
+          ++stats.async_discarded;
+          ++dirty_completions_;
+        } else {
+          async_.apply(dev, g, st);
+          ++stats.global_relabels;
+          max_level_ = async_.max_level();
+          stats.last_max_level = max_level_;
+          iter_gr_ = next_global_relabel_loop(options_, max_level_, loop);
+          dirty_completions_ = 0;
+          published = true;
+        }
+      }
+    }
+    stats.gr_ms += timer.elapsed_ms();
+    return published;
+  }
+
+ private:
+  static constexpr int kMaxDirtyRetries = 2;
+
+  const GprOptions& options_;
+  AsyncGlobalRelabel async_;
+  std::int64_t iter_gr_ = 0;
+  index_t max_level_ = 0;
+  int dirty_completions_ = 0;
+};
+
+/// Variant kFirst — Algorithm 6 driven by Algorithm 3.
+void run_first(device::Device& dev, const BipartiteGraph& g, DeviceState& st,
+               const GprOptions& options, GprStats& stats,
+               GprObserver* observer) {
+  const index_t psi_inf = g.psi_infinity();
+  const std::int64_t max_loops = loop_bound(g, options);
+  std::int64_t loop = 0;
+  RelabelScheduler relabels(g, options);
+  device::device_flag act_exists;
+  Timer timer;
+
+  bool active = true;
+  while (active) {
+    (void)relabels.on_loop(dev, g, st, loop, stats, timer);
+
+    act_exists.reset();
+    timer.restart();
+    // G-PR-KRNL: one logical thread per column.  Work units model
+    // uncoalesced gathers: the µ(µ(v)) activity probe costs one for every
+    // matched column — the dead-thread cost the active-list variants
+    // remove (paper §III-C, "decreased the divergence of the GPU
+    // threads") — plus the Γ(v) scan and the scattered push writes.
+    dev.launch_accounted(g.num_cols(), [&](std::int64_t i) -> std::int64_t {
+      const auto v = static_cast<index_t>(i);
+      const index_t mu_v = st.mu_col.load(static_cast<std::size_t>(v));
+      std::int64_t work = mu_v >= 0 ? 1 : 0;  // µ(µ(v)) gather
+      const bool active =
+          mu_v == kUnmatched ||
+          (mu_v >= 0 &&
+           st.mu_row.load(static_cast<std::size_t>(mu_v)) != v);
+      if (!active) return work;
+      act_exists.raise();
+      const index_t psi_v = st.psi_col.load(static_cast<std::size_t>(v));
+      const MinScan r = scan_min_row(g, st, v, psi_v, psi_inf);
+      work += r.scanned;
+      if (r.psi_min < psi_inf) {
+        st.mu_row.store(static_cast<std::size_t>(r.u_min), v);
+        st.mu_col.store(static_cast<std::size_t>(v), r.u_min);
+        st.psi_col.store(static_cast<std::size_t>(v), r.psi_min + 1);
+        st.psi_row.store(static_cast<std::size_t>(r.u_min), r.psi_min + 2);
+        st.mu_dirty.raise();
+        work += 2;  // scattered µ(u), ψ(u) writes
+      } else {
+        st.mu_col.store(static_cast<std::size_t>(v), kUnmatchable);
+      }
+      return work;
+    });
+    stats.push_ms += timer.elapsed_ms();
+    active = act_exists.is_raised();
+    if (observer) observer->on_loop_end(loop, st);
+    if (++loop > max_loops) loop_bound_exceeded();
+  }
+  stats.loops = loop;
+}
+
+/// Variants kNoShrink / kShrink — Algorithms 7–9.
+void run_active_list(device::Device& dev, const BipartiteGraph& g,
+                     DeviceState& st, const GprOptions& options,
+                     GprStats& stats, GprObserver* observer) {
+  const index_t psi_inf = g.psi_infinity();
+  const std::int64_t max_loops = loop_bound(g, options);
+  const bool with_shrink = options.variant == GprVariant::kShrink;
+
+  // Both buffers start as the unmatched-column list (paper §III-C1).
+  std::vector<index_t> initial;
+  for (index_t v = 0; v < g.num_cols(); ++v)
+    if (st.mu_col.load(static_cast<std::size_t>(v)) == kUnmatched)
+      initial.push_back(v);
+
+  device::relaxed_vector<index_t> ac, ap;
+  ac.assign_from(initial);
+  ap.assign_from(initial);
+  device::relaxed_vector<index_t> i_a(static_cast<std::size_t>(g.num_cols()),
+                                      -1);
+  auto len = static_cast<std::int64_t>(initial.size());
+  stats.active_peak = static_cast<index_t>(len);
+
+  std::int64_t loop = 0;
+  RelabelScheduler relabels(g, options);
+  bool shrink = false;
+  device::device_flag act_exists;
+  Timer timer;
+
+  bool active = len > 0;
+  while (active) {
+    if (relabels.on_loop(dev, g, st, loop, stats, timer)) shrink = true;
+
+    act_exists.reset();
+    const auto loop_stamp = static_cast<index_t>(loop);
+    timer.restart();
+
+    if (with_shrink && shrink && len >= options.shrink_threshold) {
+      // G-PR-SHRKRNL: resolve (roll back conflicts) and compact in two
+      // passes — per-worker counting, prefix sum over worker counts,
+      // per-worker writes into private regions (paper §III-C2).
+      auto resolve = [&](std::int64_t i) -> index_t {
+        const index_t v_prev = ap.load(static_cast<std::size_t>(i));
+        if (v_prev != -1 && is_active_column(st, v_prev)) return v_prev;
+        return ac.load(static_cast<std::size_t>(i));
+      };
+      std::vector<std::int64_t> counts(dev.num_workers() + 1, 0);
+      dev.launch_chunked(len, [&](unsigned w, std::int64_t begin,
+                                  std::int64_t end) {
+        std::int64_t count = 0;
+        for (std::int64_t i = begin; i < end; ++i)
+          if (resolve(i) != -1) ++count;
+        counts[w + 1] = count;
+      });
+      for (std::size_t w = 1; w < counts.size(); ++w) counts[w] += counts[w - 1];
+      const std::int64_t total = counts.back();
+
+      device::relaxed_vector<index_t> compacted(
+          static_cast<std::size_t>(total), -1);
+      dev.launch_chunked(len, [&](unsigned w, std::int64_t begin,
+                                  std::int64_t end) {
+        std::int64_t out = counts[w];
+        for (std::int64_t i = begin; i < end; ++i) {
+          const index_t v = resolve(i);
+          if (v == -1) continue;
+          compacted.store(static_cast<std::size_t>(out++), v);
+          i_a.store(static_cast<std::size_t>(v), loop_stamp);
+        }
+      });
+      ap = compacted;            // PUSH leaves forbidden slots untouched in
+      ac = std::move(compacted);  // Ap; seeding both with v keeps the
+                                  // roll-back path identical to INITKRNL's.
+      // Model cost: two resolve passes (one µ(µ) gather per slot each)
+      // plus the scattered iA stamps of the survivors.
+      dev.charge_work(2 * len + total);
+      len = total;
+      if (len > 0) act_exists.raise();
+      ++stats.shrinks;
+      shrink = false;
+    } else {
+      // G-PR-INITKRNL (Algorithm 8): detect conflicts from the previous
+      // push kernel, roll the losers back into Ac, and stamp iA for every
+      // column that is active in this iteration.
+      dev.launch_accounted(len, [&](std::int64_t i) -> std::int64_t {
+        const auto iz = static_cast<std::size_t>(i);
+        std::int64_t work = 0;
+        const index_t v_prev = ap.load(iz);
+        if (v_prev != -1) {
+          ++work;  // µ(µ(v)) activity gather
+          if (is_active_column(st, v_prev)) ac.store(iz, v_prev);  // roll back
+        }
+        const index_t v = ac.load(iz);
+        if (v != -1) {
+          i_a.store(static_cast<std::size_t>(v), loop_stamp);
+          ++work;  // scattered iA stamp
+          act_exists.raise();
+        }
+        return work;
+      });
+    }
+
+    active = act_exists.is_raised();
+    if (active) {
+      // G-PR-PUSHKRNL (Algorithm 9).
+      dev.launch_accounted(len, [&](std::int64_t i) -> std::int64_t {
+        const auto iz = static_cast<std::size_t>(i);
+        const index_t v = ac.load(iz);
+        if (v == -1) {
+          ap.store(iz, -1);
+          return 0;
+        }
+        const index_t psi_v = st.psi_col.load(static_cast<std::size_t>(v));
+        const MinScan r = scan_min_row(g, st, v, psi_v, psi_inf);
+        std::int64_t work = r.scanned;
+        if (r.psi_min < psi_inf) {
+          // Capture the displaced column *before* overwriting µ(u)
+          // (DESIGN.md D4); w == −1 encodes a single push.
+          const index_t w = st.mu_row.load(static_cast<std::size_t>(r.u_min));
+          ++work;  // µ(u) gather
+          if (w == kUnmatched ||
+              i_a.load(static_cast<std::size_t>(w)) != loop_stamp) {
+            if (w != kUnmatched) ++work;  // iA(µ(u)) gather
+            st.mu_row.store(static_cast<std::size_t>(r.u_min), v);
+            st.mu_col.store(static_cast<std::size_t>(v), r.u_min);
+            st.psi_col.store(static_cast<std::size_t>(v), r.psi_min + 1);
+            st.psi_row.store(static_cast<std::size_t>(r.u_min), r.psi_min + 2);
+            st.mu_dirty.raise();
+            ap.store(iz, w);
+            work += 2;  // scattered µ(u), ψ(u) writes
+          }
+          // else: µ(u)'s holder is active this loop — pushing would let one
+          // column enter Ap twice (paper §III-C1).  Leave Ap(i) alone; the
+          // next INITKRNL rolls v back.
+        } else {
+          st.mu_col.store(static_cast<std::size_t>(v), kUnmatchable);
+          ac.store(iz, -1);
+          ap.store(iz, -1);
+        }
+        return work;
+      });
+      ac.swap(ap);  // line 18 of Algorithm 7
+    }
+    stats.push_ms += timer.elapsed_ms();
+    if (observer) observer->on_loop_end(loop, st);
+    if (++loop > max_loops) loop_bound_exceeded();
+  }
+  stats.loops = loop;
+}
+
+}  // namespace
+
+GprResult g_pr(device::Device& dev, const BipartiteGraph& g,
+               const matching::Matching& init, const GprOptions& options,
+               GprObserver* observer) {
+  if (!init.is_valid(g))
+    throw std::invalid_argument("g_pr: invalid initial matching: " +
+                                init.first_violation(g));
+
+  Timer total;
+  GprResult result;
+  GprStats& stats = result.stats;
+  const std::uint64_t launches_before = dev.launches();
+  const double modeled_before = dev.modeled_ms();
+
+  DeviceState st(g.num_rows(), g.num_cols());
+  st.mu_row.assign_from(init.row_match);
+  st.mu_col.assign_from(init.col_match);
+
+  switch (options.variant) {
+    case GprVariant::kFirst:
+      run_first(dev, g, st, options, stats, observer);
+      break;
+    case GprVariant::kNoShrink:
+    case GprVariant::kShrink:
+      run_active_list(dev, g, st, options, stats, observer);
+      break;
+  }
+
+  // FIXMATCHING: repair the benign column-side inconsistencies; row
+  // matchings are authoritative and already correct.
+  Timer fix;
+  dev.launch_accounted(g.num_cols(), [&](std::int64_t i) -> std::int64_t {
+    const auto vz = static_cast<std::size_t>(i);
+    const index_t u = st.mu_col.load(vz);
+    if (u < 0) {
+      st.mu_col.store(vz, kUnmatched);
+      return 0;
+    }
+    if (st.mu_row.load(static_cast<std::size_t>(u)) !=
+        static_cast<index_t>(i)) {
+      st.mu_col.store(vz, kUnmatched);
+    }
+    return 1;  // µ(µ(v)) gather
+  });
+
+  result.matching.row_match = st.mu_row.to_host();
+  result.matching.col_match = st.mu_col.to_host();
+  stats.fix_ms = fix.elapsed_ms();
+  stats.device_launches =
+      static_cast<std::int64_t>(dev.launches() - launches_before);
+  stats.modeled_ms = dev.modeled_ms() - modeled_before;
+  stats.total_ms = total.elapsed_ms();
+  return result;
+}
+
+}  // namespace bpm::gpu

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/bipartite_graph.hpp"
+
+namespace bpm::gpu {
+
+using graph::index_t;
+
+/// Which G-PR implementation variant to run (paper Figure 1 compares all
+/// three).
+enum class GprVariant {
+  /// Algorithm 6: one logical thread per column of V_C, every launch.
+  kFirst,
+  /// Algorithms 7–9: double-buffered active-column list (Ac/Ap/iA) with
+  /// conflict detection and roll-back, but no compaction.
+  kNoShrink,
+  /// kNoShrink plus G-PR-SHRKRNL: periodic prefix-sum compaction of the
+  /// active list after each global relabel, when |Ac| ≥ shrink_threshold.
+  kShrink,
+};
+
+/// Global-relabeling frequency strategy (paper §III-A).
+enum class RelabelStrategy {
+  /// (fix, k): next global relabel after k push-kernel executions.
+  kFixed,
+  /// (adaptive, k): next global relabel after k × maxLevel push-kernel
+  /// executions, where maxLevel is the BFS depth of the previous global
+  /// relabel — the paper's contribution, motivated by Theorem 2 (the
+  /// deficiency-many disjoint augmenting paths have average length
+  /// bounded via maxLevel).
+  kAdaptive,
+};
+
+struct GprOptions {
+  GprVariant variant = GprVariant::kShrink;
+  RelabelStrategy strategy = RelabelStrategy::kAdaptive;
+
+  /// The k in (adaptive, k) / (fix, k).  The paper's best configuration is
+  /// (adaptive, 0.7); Figure 1 sweeps {0.3, 0.7, 1, 1.5, 2} adaptive and
+  /// {10, 50} fixed.
+  double k = 0.7;
+
+  /// Run G-PR-SHRKRNL only while the active list is at least this long
+  /// (paper: 512; below that the compaction does not pay for itself).
+  index_t shrink_threshold = 512;
+
+  /// Force a global relabel before the first push kernel (iterGR = 0, as
+  /// the paper does after observing "significant performance
+  /// improvements" from it).  false starts from the ψ(u)=0 / ψ(v)=1
+  /// initialisation instead — the configuration bench/ablation_initial_gr
+  /// quantifies.
+  bool initial_global_relabel = true;
+
+  /// The paper's Section V future work, implemented: run non-initial
+  /// global relabels as a second stream overlapped with the push kernels
+  /// (one shadow BFS level per main-loop iteration against a µ snapshot;
+  /// labels publish when the BFS drains).  Pushes keep working with the
+  /// stale labels meanwhile — see gpu::AsyncGlobalRelabel for the
+  /// soundness argument, and bench/ablation_async_gr for the tradeoff.
+  bool concurrent_global_relabel = false;
+
+  /// Safety net against regressions in the termination argument: throw if
+  /// the main loop exceeds `64·(m+n) + 1024` iterations.  0 disables.
+  std::int64_t max_loops = -1;  ///< -1 = use the default bound
+
+  [[nodiscard]] std::string describe() const;
+};
+
+inline std::string to_string(GprVariant v) {
+  switch (v) {
+    case GprVariant::kFirst: return "G-PR-First";
+    case GprVariant::kNoShrink: return "G-PR-NoShr";
+    case GprVariant::kShrink: return "G-PR-Shr";
+  }
+  return "?";
+}
+
+inline std::string to_string(RelabelStrategy s) {
+  return s == RelabelStrategy::kFixed ? "fix" : "adaptive";
+}
+
+inline std::string GprOptions::describe() const {
+  return to_string(variant) + " (" + to_string(strategy) + ", " +
+         std::to_string(k) + ")";
+}
+
+}  // namespace bpm::gpu

@@ -1,0 +1,24 @@
+#include "core/relabel_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bpm::gpu {
+
+std::int64_t next_global_relabel_loop(const GprOptions& options,
+                                      graph::index_t max_level,
+                                      std::int64_t loop) {
+  double interval = 0.0;
+  switch (options.strategy) {
+    case RelabelStrategy::kFixed:
+      interval = options.k;
+      break;
+    case RelabelStrategy::kAdaptive:
+      interval = options.k * static_cast<double>(max_level);
+      break;
+  }
+  return loop + std::max<std::int64_t>(
+                    1, static_cast<std::int64_t>(std::llround(interval)));
+}
+
+}  // namespace bpm::gpu

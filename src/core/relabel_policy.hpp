@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/options.hpp"
+
+namespace bpm::gpu {
+
+/// GETITERGR (Algorithm 3 line 7 / Algorithm 7 line 8): given the depth
+/// `max_level` of the global relabel that just finished and the current
+/// loop counter, returns the loop index at which the *next* global
+/// relabel fires.
+///
+///  * kFixed:    loop + max(1, round(k))            — "(fix, k)"
+///  * kAdaptive: loop + max(1, round(k·maxLevel))   — "(adaptive, k)"
+///
+/// The adaptive rationale (paper Theorem 2): a deficiency-d matching has d
+/// vertex-disjoint augmenting paths of total length < m+n, and maxLevel
+/// bounds the alternating-BFS depth, so k·maxLevel push-kernel executions
+/// give the surviving active columns time to traverse an average-length
+/// path before labels go stale.
+[[nodiscard]] std::int64_t next_global_relabel_loop(const GprOptions& options,
+                                                    graph::index_t max_level,
+                                                    std::int64_t loop);
+
+}  // namespace bpm::gpu

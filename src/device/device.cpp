@@ -1,0 +1,10 @@
+#include "device/device.hpp"
+
+namespace bpm::device {
+
+Device::Device(DeviceOptions options) : options_(options) {
+  if (options_.mode == ExecMode::kConcurrent)
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+}
+
+}  // namespace bpm::device

@@ -1,0 +1,191 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "device/thread_pool.hpp"
+
+namespace bpm::device {
+
+/// How kernel launches execute.
+enum class ExecMode {
+  /// One worker, indices in order.  Deterministic; used by tests to
+  /// separate logic bugs from race bugs, and by the race ablation.
+  kSequential,
+  /// All pool workers, static index partition, arbitrary interleaving —
+  /// the faithful model of a CUDA grid.
+  kConcurrent,
+};
+
+/// Analytic timing model of a target GPU, used to report *modeled device
+/// time* next to host wall time (DESIGN.md D9).  A kernel over n logical
+/// threads that scans `work` adjacency entries is charged
+///
+///   launch_latency_us + (n·ns_per_item + work·ns_per_work) · 1e-3
+///
+/// where the per-unit rates are *device-wide effective* costs.  Defaults
+/// approximate the paper's Tesla C2050:
+///  * 7 µs kernel launch latency (Fermi era) — this is why deep-BFS
+///    instances (hugetrace, italy_osm) lose: one launch per level;
+///  * ns_per_item = 0.2 (5 G logical threads/s): a near-trivial predicate
+///    plus one coalesced 4-byte ψ read per thread, ≈ 20 GB/s of the
+///    C2050's 144 GB/s — compute-side 448 cores × 1.15 GHz bound it too;
+///  * ns_per_work = 0.6 (1.7 G adjacency entries/s): an irregular gather
+///    of ψ(u) per CSR entry plus the entry itself, 8–12 bytes at poor
+///    coalescing.
+/// Sanity anchors against Table I: a hugetrace-scale global relabel
+/// (≈3000 levels × (7 µs + 4.6 M rows · 0.2 ns)) models to ≈2.8 s vs the
+/// paper's 2.71 s; delaunay_n20 models to ≈60 ms vs the paper's 0.06 s.
+/// The model captures the two effects that decide every shape in the
+/// evaluation — launch-latency domination on high-diameter graphs and
+/// bandwidth-bound bulk work on wide ones — and nothing else.
+struct DeviceModel {
+  double launch_latency_us = 7.0;
+  double ns_per_item = 0.2;  ///< per logical thread (device-wide effective)
+  double ns_per_work = 0.6;  ///< per adjacency entry (device-wide effective)
+};
+
+struct DeviceOptions {
+  ExecMode mode = ExecMode::kConcurrent;
+  /// Worker count; 0 = hardware concurrency.  Oversubscribing (threads >>
+  /// cores) widens the space of observable interleavings — the race stress
+  /// tests use this.
+  unsigned num_threads = 0;
+  DeviceModel model;
+};
+
+/// A CUDA-style bulk-synchronous execution engine on host threads.
+///
+/// `launch(n, kernel)` models one kernel launch over a grid of `n` logical
+/// threads: `kernel(i)` runs for every `i` in `[0, n)`, concurrently and in
+/// no particular order; the call returns only after all of them finish
+/// (stream-order barrier).  Logical threads are statically partitioned
+/// into contiguous chunks over the pool workers, mirroring how the paper
+/// maps columns/rows to CUDA threads.
+///
+/// `launch_chunked` exposes the partition itself — kernels like
+/// G-PR-SHRKRNL need per-physical-thread counting followed by a prefix sum
+/// over the thread-private counts (paper §III-C2).
+///
+/// The engine counts launches: the paper's global-relabeling policies are
+/// expressed in units of push-kernel executions, and the experiment
+/// harnesses report launch totals.
+class Device {
+ public:
+  explicit Device(DeviceOptions options = {});
+
+  [[nodiscard]] ExecMode mode() const { return options_.mode; }
+  [[nodiscard]] unsigned num_workers() const { return pool_ ? pool_->size() : 1; }
+  [[nodiscard]] std::uint64_t launches() const { return launches_; }
+  void reset_launch_count() { launches_ = 0; }
+
+  /// Modeled device time accumulated so far (see DeviceModel).  Kernels
+  /// that report their work via `launch_accounted` contribute their work
+  /// term; plain launches contribute latency + per-item cost only.
+  [[nodiscard]] double modeled_ms() const { return modeled_us_ / 1e3; }
+  void reset_modeled_time() { modeled_us_ = 0.0; }
+
+  /// Adds work units to the model without a launch — for kernels whose
+  /// work is easier to tally host-side (e.g. the shrink compaction's two
+  /// resolve passes).
+  void charge_work(std::int64_t work) {
+    modeled_us_ += static_cast<double>(work) * options_.model.ns_per_work * 1e-3;
+  }
+
+  /// One kernel launch: `kernel(i)` for all i in [0, n).
+  template <typename Kernel>
+  void launch(std::int64_t n, Kernel&& kernel) {
+    ++launches_;
+    account(n, 0);
+    if (n <= 0) return;
+    if (options_.mode == ExecMode::kSequential || num_workers() == 1) {
+      for (std::int64_t i = 0; i < n; ++i) kernel(i);
+      return;
+    }
+    const auto workers = static_cast<std::int64_t>(num_workers());
+    const std::function<void(unsigned)> job = [&](unsigned w) {
+      const auto [begin, end] = chunk(n, workers, w);
+      for (std::int64_t i = begin; i < end; ++i) kernel(i);
+    };
+    pool_->run_on_all(job);
+  }
+
+  /// Like `launch`, but the kernel returns its work units (e.g. adjacency
+  /// entries scanned), which feed the device time model.
+  template <typename Kernel>
+  void launch_accounted(std::int64_t n, Kernel&& kernel) {
+    ++launches_;
+    if (n <= 0) {
+      account(n, 0);
+      return;
+    }
+    if (options_.mode == ExecMode::kSequential || num_workers() == 1) {
+      std::int64_t work = 0;
+      for (std::int64_t i = 0; i < n; ++i) work += kernel(i);
+      account(n, work);
+      return;
+    }
+    const auto workers = static_cast<std::int64_t>(num_workers());
+    std::vector<std::int64_t> per_worker(num_workers(), 0);
+    const std::function<void(unsigned)> job = [&](unsigned w) {
+      const auto [begin, end] = chunk(n, workers, w);
+      std::int64_t work = 0;
+      for (std::int64_t i = begin; i < end; ++i) work += kernel(i);
+      per_worker[w] = work;
+    };
+    pool_->run_on_all(job);
+    std::int64_t work = 0;
+    for (std::int64_t w : per_worker) work += w;
+    account(n, work);
+  }
+
+  /// One kernel launch with the worker partition exposed:
+  /// `kernel(worker_id, begin, end)` where the `[begin, end)` ranges
+  /// partition `[0, n)`.  Also counts as a single launch.
+  template <typename Kernel>
+  void launch_chunked(std::int64_t n, Kernel&& kernel) {
+    ++launches_;
+    if (n <= 0) return;
+    if (options_.mode == ExecMode::kSequential || num_workers() == 1) {
+      kernel(0u, std::int64_t{0}, n);
+      return;
+    }
+    const auto workers = static_cast<std::int64_t>(num_workers());
+    const std::function<void(unsigned)> job = [&](unsigned w) {
+      const auto [begin, end] = chunk(n, workers, w);
+      kernel(w, begin, end);
+    };
+    pool_->run_on_all(job);
+  }
+
+ private:
+  void account(std::int64_t items, std::int64_t work) {
+    const DeviceModel& m = options_.model;
+    modeled_us_ += m.launch_latency_us +
+                   (static_cast<double>(std::max<std::int64_t>(items, 0)) *
+                        m.ns_per_item +
+                    static_cast<double>(work) * m.ns_per_work) *
+                       1e-3;
+  }
+
+  static std::pair<std::int64_t, std::int64_t> chunk(std::int64_t n,
+                                                     std::int64_t workers,
+                                                     unsigned w) {
+    const std::int64_t per = n / workers;
+    const std::int64_t extra = n % workers;
+    const auto wi = static_cast<std::int64_t>(w);
+    const std::int64_t begin = wi * per + std::min(wi, extra);
+    const std::int64_t end = begin + per + (wi < extra ? 1 : 0);
+    return {begin, end};
+  }
+
+  DeviceOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::uint64_t launches_ = 0;
+  double modeled_us_ = 0.0;
+};
+
+}  // namespace bpm::device

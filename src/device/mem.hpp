@@ -1,0 +1,115 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace bpm::device {
+
+/// A memory cell that many device threads may read and write concurrently
+/// without synchronisation — the C++ embodiment of the paper's *benign
+/// races* on the µ, ψ and iA arrays.
+///
+/// The paper's kernels deliberately race: concurrent pushes overwrite µ(u),
+/// the last writer wins, and losers are detected afterwards via
+/// `µ(µ(v)) ≠ v`.  A plain C++ data race is undefined behaviour, so the
+/// cell uses `std::atomic` with `memory_order_relaxed`: on mainstream ISAs
+/// relaxed 32-bit load/store compiles to an ordinary `mov` — no lock
+/// prefixes, no read-modify-write — exactly matching the paper's claim of
+/// an "atomic- and lock-free" implementation (they avoid atomic *RMW*
+/// instructions, not loads/stores).  `bench/ablation_race` measures what
+/// promoting these to seq_cst would cost.
+///
+/// Copy operations exist so that `std::vector<relaxed_cell>` is usable;
+/// they are *not* atomic as a pair and must only run while no kernel is in
+/// flight (i.e. host-side, between launches).
+template <typename T>
+class relaxed_cell {
+ public:
+  relaxed_cell() noexcept : value_(T{}) {}
+  explicit relaxed_cell(T v) noexcept : value_(v) {}
+  relaxed_cell(const relaxed_cell& other) noexcept
+      : value_(other.value_.load(std::memory_order_relaxed)) {}
+  relaxed_cell& operator=(const relaxed_cell& other) noexcept {
+    value_.store(other.value_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    return *this;
+  }
+
+  [[nodiscard]] T load() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void store(T v) noexcept { value_.store(v, std::memory_order_relaxed); }
+
+  /// Sequentially-consistent accessors for the race-cost ablation.
+  [[nodiscard]] T load_seq_cst() const noexcept { return value_.load(); }
+  void store_seq_cst(T v) noexcept { value_.store(v); }
+
+ private:
+  std::atomic<T> value_;
+};
+
+/// Fixed-capacity array of racy cells — "device memory".  The interface is
+/// deliberately narrow: size, element access, bulk fill, host snapshot.
+template <typename T>
+class relaxed_vector {
+ public:
+  relaxed_vector() = default;
+  explicit relaxed_vector(std::size_t n, T init = T{})
+      : cells_(n, relaxed_cell<T>(init)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return cells_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return cells_.empty(); }
+
+  /// O(1) buffer exchange — the Ac/Ap double-buffer swap of Algorithm 7.
+  /// Host-side only (no kernel in flight).
+  void swap(relaxed_vector& other) noexcept { cells_.swap(other.cells_); }
+
+  [[nodiscard]] T load(std::size_t i) const noexcept { return cells_[i].load(); }
+  void store(std::size_t i, T v) noexcept { cells_[i].store(v); }
+
+  /// Host-side bulk operations (no kernel may be in flight).
+  void fill(T v) {
+    for (auto& c : cells_) c.store(v);
+  }
+  void assign_from(const std::vector<T>& host) {
+    cells_.assign(host.size(), relaxed_cell<T>{});
+    for (std::size_t i = 0; i < host.size(); ++i) cells_[i].store(host[i]);
+  }
+  [[nodiscard]] std::vector<T> to_host() const {
+    std::vector<T> out(cells_.size());
+    for (std::size_t i = 0; i < cells_.size(); ++i) out[i] = cells_[i].load();
+    return out;
+  }
+
+ private:
+  std::vector<relaxed_cell<T>> cells_;
+};
+
+/// Kernel-wide flag (the paper's `actExists` / `uAdded`): any thread may
+/// raise it during a launch; the host reads it after the launch barrier.
+/// Multiple concurrent `raise()` calls are the benign same-value race the
+/// paper describes for these variables.
+class device_flag {
+ public:
+  device_flag() = default;
+  /// Copying reads the current value; host-side only, like relaxed_cell.
+  device_flag(const device_flag& other) noexcept
+      : flag_(other.flag_.load(std::memory_order_relaxed)) {}
+  device_flag& operator=(const device_flag& other) noexcept {
+    flag_.store(other.flag_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    return *this;
+  }
+
+  void reset() noexcept { flag_.store(false, std::memory_order_relaxed); }
+  void raise() noexcept { flag_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool is_raised() const noexcept {
+    return flag_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace bpm::device

@@ -1,0 +1,54 @@
+#include "device/scan.hpp"
+
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace bpm::device {
+
+std::int64_t exclusive_scan(Device& dev, std::span<const std::int64_t> in,
+                            std::span<std::int64_t> out) {
+  if (out.size() != in.size())
+    throw std::invalid_argument("exclusive_scan: size mismatch");
+  const auto n = static_cast<std::int64_t>(in.size());
+  if (n == 0) return 0;
+
+  // Pass 1: per-worker partial sums.
+  std::vector<std::int64_t> partial(dev.num_workers() + 1, 0);
+  std::vector<std::pair<std::int64_t, std::int64_t>> ranges(dev.num_workers(),
+                                                            {0, 0});
+  dev.launch_chunked(n, [&](unsigned w, std::int64_t begin, std::int64_t end) {
+    std::int64_t sum = 0;
+    for (std::int64_t i = begin; i < end; ++i) sum += in[static_cast<std::size_t>(i)];
+    partial[w + 1] = sum;
+    ranges[w] = {begin, end};
+  });
+
+  // Serial scan over the (tiny) per-worker totals.
+  std::partial_sum(partial.begin(), partial.end(), partial.begin());
+
+  // Pass 2: write out with per-worker offsets.
+  dev.launch_chunked(n, [&](unsigned w, std::int64_t begin, std::int64_t end) {
+    std::int64_t acc = partial[w];
+    for (std::int64_t i = begin; i < end; ++i) {
+      const std::int64_t v = in[static_cast<std::size_t>(i)];
+      out[static_cast<std::size_t>(i)] = acc;
+      acc += v;
+    }
+  });
+  return partial.back();
+}
+
+std::int64_t reduce_sum(Device& dev, std::span<const std::int64_t> in) {
+  const auto n = static_cast<std::int64_t>(in.size());
+  if (n == 0) return 0;
+  std::vector<std::int64_t> partial(dev.num_workers(), 0);
+  dev.launch_chunked(n, [&](unsigned w, std::int64_t begin, std::int64_t end) {
+    std::int64_t sum = 0;
+    for (std::int64_t i = begin; i < end; ++i) sum += in[static_cast<std::size_t>(i)];
+    partial[w] = sum;
+  });
+  return std::accumulate(partial.begin(), partial.end(), std::int64_t{0});
+}
+
+}  // namespace bpm::device

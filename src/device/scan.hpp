@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "device/device.hpp"
+
+namespace bpm::device {
+
+/// Parallel exclusive prefix sum: `out[i] = sum(in[0..i))`, returns the
+/// grand total.  Two-pass chunk algorithm (per-worker partial sums, serial
+/// scan of the per-worker totals, per-worker write-out) — the same shape
+/// as the per-thread counting + prefix sum inside the paper's
+/// G-PR-SHRKRNL.  `in` and `out` may alias.
+std::int64_t exclusive_scan(Device& dev, std::span<const std::int64_t> in,
+                            std::span<std::int64_t> out);
+
+/// Parallel sum reduction.
+std::int64_t reduce_sum(Device& dev, std::span<const std::int64_t> in);
+
+}  // namespace bpm::device

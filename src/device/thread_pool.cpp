@@ -1,0 +1,55 @@
+#include "device/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace bpm::device {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0)
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(num_threads);
+  for (unsigned id = 0; id < num_threads; ++id)
+    workers_.emplace_back([this, id] { worker_loop(id); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_on_all(const std::function<void(unsigned)>& job) {
+  std::unique_lock lock(mutex_);
+  job_ = &job;
+  remaining_ = size();
+  ++generation_;
+  start_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::worker_loop(unsigned id) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(unsigned)>* job = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    (*job)(id);
+    {
+      std::lock_guard lock(mutex_);
+      if (--remaining_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace bpm::device

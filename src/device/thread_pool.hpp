@@ -1,0 +1,54 @@
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bpm::device {
+
+/// Persistent fork-join worker pool.
+///
+/// `run_on_all(job)` wakes every worker, runs `job(worker_id)` on each, and
+/// blocks the caller until all are done — one fork-join per *kernel launch*
+/// in the device model, so the pool is created once per `Device` and reused
+/// across thousands of launches (thread creation per launch would dominate
+/// small kernels, just as CUDA context creation would).
+///
+/// The join is an acquire/release synchronisation point: everything workers
+/// wrote during the job happens-before the caller's return, which is what
+/// gives kernel launches their bulk-synchronous barrier semantics.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers.  `num_threads == 0` selects
+  /// `std::thread::hardware_concurrency()`.
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Runs `job(worker_id)` on every worker; returns when all finished.
+  /// Exceptions thrown inside `job` terminate (kernels must not throw,
+  /// mirroring the no-exceptions execution environment of GPU code).
+  void run_on_all(const std::function<void(unsigned)>& job);
+
+ private:
+  void worker_loop(unsigned id);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  unsigned remaining_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace bpm::device

@@ -1,0 +1,77 @@
+#include "graph/bipartite_graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace bpm::graph {
+
+BipartiteGraph::BipartiteGraph(index_t num_rows, index_t num_cols,
+                               std::vector<offset_t> row_ptr,
+                               std::vector<index_t> row_adj,
+                               std::vector<offset_t> col_ptr,
+                               std::vector<index_t> col_adj)
+    : num_rows_(num_rows),
+      num_cols_(num_cols),
+      row_ptr_(std::move(row_ptr)),
+      row_adj_(std::move(row_adj)),
+      col_ptr_(std::move(col_ptr)),
+      col_adj_(std::move(col_adj)) {
+  if (num_rows_ < 0 || num_cols_ < 0)
+    throw std::invalid_argument("BipartiteGraph: negative dimension");
+  if (row_ptr_.size() != static_cast<std::size_t>(num_rows_) + 1 ||
+      col_ptr_.size() != static_cast<std::size_t>(num_cols_) + 1)
+    throw std::invalid_argument("BipartiteGraph: pointer array size mismatch");
+  if (row_adj_.size() != col_adj_.size())
+    throw std::invalid_argument(
+        "BipartiteGraph: the two CSR directions disagree on edge count");
+  validate();
+}
+
+bool BipartiteGraph::has_edge(index_t u, index_t v) const {
+  if (u < 0 || u >= num_rows_ || v < 0 || v >= num_cols_) return false;
+  auto nbrs = row_neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+void BipartiteGraph::validate() const {
+  auto check_csr = [](const std::vector<offset_t>& ptr,
+                      const std::vector<index_t>& adj, index_t bound,
+                      const char* side) {
+    if (ptr.empty() || ptr.front() != 0)
+      throw std::logic_error(std::string("CSR ") + side +
+                             ": pointer array must start at 0");
+    if (ptr.back() != static_cast<offset_t>(adj.size()))
+      throw std::logic_error(std::string("CSR ") + side +
+                             ": pointer array must end at nnz");
+    for (std::size_t i = 0; i + 1 < ptr.size(); ++i) {
+      if (ptr[i] > ptr[i + 1])
+        throw std::logic_error(std::string("CSR ") + side +
+                               ": pointers not monotone");
+      for (offset_t k = ptr[i]; k < ptr[i + 1]; ++k) {
+        const index_t nb = adj[static_cast<std::size_t>(k)];
+        if (nb < 0 || nb >= bound)
+          throw std::logic_error(std::string("CSR ") + side +
+                                 ": neighbor out of range");
+        if (k > ptr[i] && adj[static_cast<std::size_t>(k - 1)] >= nb)
+          throw std::logic_error(std::string("CSR ") + side +
+                                 ": neighbors not strictly sorted");
+      }
+    }
+  };
+  check_csr(row_ptr_, row_adj_, num_cols_, "rows");
+  check_csr(col_ptr_, col_adj_, num_rows_, "cols");
+}
+
+std::string BipartiteGraph::describe() const {
+  std::ostringstream os;
+  os << num_rows_ << " rows x " << num_cols_ << " cols, " << num_edges()
+     << " edges";
+  if (num_rows_ > 0) {
+    os << ", avg row degree "
+       << static_cast<double>(num_edges()) / static_cast<double>(num_rows_);
+  }
+  return os.str();
+}
+
+}  // namespace bpm::graph

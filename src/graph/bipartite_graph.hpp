@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bpm::graph {
+
+/// Vertex index type.  The paper's instances peak at ~18M vertices, well
+/// within 32 bits; edge offsets use 64 bits because kron-style instances
+/// reach 91M edges.
+using index_t = std::int32_t;
+using offset_t = std::int64_t;
+
+/// An undirected bipartite graph G = (V_R ∪ V_C, E) in dual-CSR form.
+///
+/// Following the paper's matrix notation, the two sides are "rows" (V_R)
+/// and "columns" (V_C).  Both adjacency directions are materialised:
+///
+///  * rows → columns  (`row_ptr` / `row_adj`) — walked by the global
+///    relabeling BFS (Algorithms 2, 4–5), which expands *row* frontiers;
+///  * columns → rows  (`col_ptr` / `col_adj`) — walked by every push
+///    kernel (Algorithms 1, 6, 9), which scans Γ(v) of a *column* v.
+///
+/// Adjacency lists are sorted and duplicate-free (guaranteed by the
+/// builder).  The structure is immutable after construction.
+class BipartiteGraph {
+ public:
+  BipartiteGraph() = default;
+
+  /// Constructs from prevalidated CSR arrays.  Prefer `build_from_edges`
+  /// (graph/builder.hpp) unless you already hold CSR data.
+  /// Throws `std::invalid_argument` if the arrays are inconsistent.
+  BipartiteGraph(index_t num_rows, index_t num_cols,
+                 std::vector<offset_t> row_ptr, std::vector<index_t> row_adj,
+                 std::vector<offset_t> col_ptr, std::vector<index_t> col_adj);
+
+  [[nodiscard]] index_t num_rows() const { return num_rows_; }
+  [[nodiscard]] index_t num_cols() const { return num_cols_; }
+  [[nodiscard]] offset_t num_edges() const {
+    return static_cast<offset_t>(row_adj_.size());
+  }
+
+  /// m + n: the paper's "unreachable" label value ψ = m + n.
+  [[nodiscard]] index_t psi_infinity() const { return num_rows_ + num_cols_; }
+
+  /// Neighbors Γ(u) of row u, as column indices.
+  [[nodiscard]] std::span<const index_t> row_neighbors(index_t u) const {
+    return {row_adj_.data() + row_ptr_[static_cast<std::size_t>(u)],
+            row_adj_.data() + row_ptr_[static_cast<std::size_t>(u) + 1]};
+  }
+
+  /// Neighbors Γ(v) of column v, as row indices.
+  [[nodiscard]] std::span<const index_t> col_neighbors(index_t v) const {
+    return {col_adj_.data() + col_ptr_[static_cast<std::size_t>(v)],
+            col_adj_.data() + col_ptr_[static_cast<std::size_t>(v) + 1]};
+  }
+
+  [[nodiscard]] index_t row_degree(index_t u) const {
+    return static_cast<index_t>(row_ptr_[static_cast<std::size_t>(u) + 1] -
+                                row_ptr_[static_cast<std::size_t>(u)]);
+  }
+  [[nodiscard]] index_t col_degree(index_t v) const {
+    return static_cast<index_t>(col_ptr_[static_cast<std::size_t>(v) + 1] -
+                                col_ptr_[static_cast<std::size_t>(v)]);
+  }
+
+  /// Raw CSR access for the kernels (read-only).
+  [[nodiscard]] const std::vector<offset_t>& row_ptr() const { return row_ptr_; }
+  [[nodiscard]] const std::vector<index_t>& row_adj() const { return row_adj_; }
+  [[nodiscard]] const std::vector<offset_t>& col_ptr() const { return col_ptr_; }
+  [[nodiscard]] const std::vector<index_t>& col_adj() const { return col_adj_; }
+
+  /// True if (u, v) ∈ E.  Binary search over the sorted row adjacency;
+  /// intended for tests and validators, not hot paths.
+  [[nodiscard]] bool has_edge(index_t u, index_t v) const;
+
+  /// Structural self-check (CSR consistency, sortedness, symmetry of the
+  /// two directions).  Throws `std::logic_error` on violation.  Used by
+  /// tests and by the Matrix Market reader.
+  void validate() const;
+
+  /// One-line human-readable summary ("m x n, nnz, avg degree").
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  index_t num_rows_ = 0;
+  index_t num_cols_ = 0;
+  std::vector<offset_t> row_ptr_{0};
+  std::vector<index_t> row_adj_;
+  std::vector<offset_t> col_ptr_{0};
+  std::vector<index_t> col_adj_;
+};
+
+}  // namespace bpm::graph

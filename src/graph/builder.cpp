@@ -1,0 +1,91 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace bpm::graph {
+
+namespace {
+
+/// Counting-sort one CSR direction from a deduplicated edge list.
+/// `key(e)` selects the source side, `val(e)` the target side.
+template <typename Key, typename Val>
+void build_csr(std::span<const Edge> edges, index_t num_src, Key key, Val val,
+               std::vector<offset_t>& ptr, std::vector<index_t>& adj) {
+  ptr.assign(static_cast<std::size_t>(num_src) + 1, 0);
+  for (const Edge& e : edges) ptr[static_cast<std::size_t>(key(e)) + 1]++;
+  std::partial_sum(ptr.begin(), ptr.end(), ptr.begin());
+  adj.resize(edges.size());
+  std::vector<offset_t> cursor(ptr.begin(), ptr.end() - 1);
+  for (const Edge& e : edges)
+    adj[static_cast<std::size_t>(cursor[static_cast<std::size_t>(key(e))]++)] =
+        val(e);
+  for (index_t s = 0; s < num_src; ++s)
+    std::sort(adj.begin() + static_cast<std::ptrdiff_t>(ptr[static_cast<std::size_t>(s)]),
+              adj.begin() + static_cast<std::ptrdiff_t>(ptr[static_cast<std::size_t>(s) + 1]));
+}
+
+}  // namespace
+
+BipartiteGraph build_from_edges(index_t num_rows, index_t num_cols,
+                                std::span<const Edge> edges) {
+  if (num_rows < 0 || num_cols < 0)
+    throw std::invalid_argument("build_from_edges: negative dimension");
+  for (const Edge& e : edges) {
+    if (e.row < 0 || e.row >= num_rows || e.col < 0 || e.col >= num_cols)
+      throw std::invalid_argument(
+          "build_from_edges: edge endpoint out of range");
+  }
+
+  // Deduplicate without disturbing the caller's buffer.
+  std::vector<Edge> sorted(edges.begin(), edges.end());
+  std::sort(sorted.begin(), sorted.end(), [](const Edge& a, const Edge& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  std::vector<offset_t> row_ptr, col_ptr;
+  std::vector<index_t> row_adj, col_adj;
+  build_csr(
+      sorted, num_rows, [](const Edge& e) { return e.row; },
+      [](const Edge& e) { return e.col; }, row_ptr, row_adj);
+  build_csr(
+      sorted, num_cols, [](const Edge& e) { return e.col; },
+      [](const Edge& e) { return e.row; }, col_ptr, col_adj);
+
+  return BipartiteGraph(num_rows, num_cols, std::move(row_ptr),
+                        std::move(row_adj), std::move(col_ptr),
+                        std::move(col_adj));
+}
+
+BipartiteGraph build_from_edges(
+    index_t num_rows, index_t num_cols,
+    const std::vector<std::pair<index_t, index_t>>& edges) {
+  std::vector<Edge> es;
+  es.reserve(edges.size());
+  for (auto [u, v] : edges) es.push_back({u, v});
+  return build_from_edges(num_rows, num_cols, es);
+}
+
+BipartiteGraph permute_vertices(const BipartiteGraph& g, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<index_t> row_perm(static_cast<std::size_t>(g.num_rows()));
+  std::vector<index_t> col_perm(static_cast<std::size_t>(g.num_cols()));
+  std::iota(row_perm.begin(), row_perm.end(), 0);
+  std::iota(col_perm.begin(), col_perm.end(), 0);
+  std::shuffle(row_perm.begin(), row_perm.end(), rng);
+  std::shuffle(col_perm.begin(), col_perm.end(), rng);
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(g.num_edges()));
+  for (index_t u = 0; u < g.num_rows(); ++u)
+    for (index_t v : g.row_neighbors(u))
+      edges.push_back({row_perm[static_cast<std::size_t>(u)],
+                       col_perm[static_cast<std::size_t>(v)]});
+  return build_from_edges(g.num_rows(), g.num_cols(), edges);
+}
+
+}  // namespace bpm::graph

@@ -1,0 +1,309 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "util/rng.hpp"
+
+namespace bpm::graph::gen {
+
+namespace {
+
+void require(bool cond, const char* what) {
+  if (!cond) throw std::invalid_argument(what);
+}
+
+/// Emit both (i,j) and (j,i) — generators that model symmetric adjacency
+/// matrices of undirected graphs use this.
+void push_symmetric(std::vector<Edge>& edges, index_t i, index_t j) {
+  edges.push_back({i, j});
+  edges.push_back({j, i});
+}
+
+}  // namespace
+
+BipartiteGraph random_uniform(index_t num_rows, index_t num_cols,
+                              offset_t target_edges, std::uint64_t seed) {
+  require(num_rows > 0 && num_cols > 0, "random_uniform: empty side");
+  require(target_edges >= 0, "random_uniform: negative edge count");
+  const offset_t capacity =
+      static_cast<offset_t>(num_rows) * static_cast<offset_t>(num_cols);
+  require(target_edges <= capacity, "random_uniform: more edges than pairs");
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(target_edges));
+  for (offset_t e = 0; e < target_edges; ++e)
+    edges.push_back(
+        {static_cast<index_t>(rng.below(static_cast<std::uint64_t>(num_rows))),
+         static_cast<index_t>(
+             rng.below(static_cast<std::uint64_t>(num_cols)))});
+  return build_from_edges(num_rows, num_cols, edges);
+}
+
+BipartiteGraph planted_perfect(index_t n, double extra_degree,
+                               std::uint64_t seed) {
+  require(n > 0, "planted_perfect: empty side");
+  require(extra_degree >= 0.0, "planted_perfect: negative degree");
+  Rng rng(seed);
+  std::vector<index_t> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::shuffle(perm.begin(), perm.end(), rng);
+
+  std::vector<Edge> edges;
+  const auto extra =
+      static_cast<offset_t>(extra_degree * static_cast<double>(n));
+  edges.reserve(static_cast<std::size_t>(n + extra));
+  for (index_t u = 0; u < n; ++u)
+    edges.push_back({u, perm[static_cast<std::size_t>(u)]});
+  for (offset_t e = 0; e < extra; ++e)
+    edges.push_back(
+        {static_cast<index_t>(rng.below(static_cast<std::uint64_t>(n))),
+         static_cast<index_t>(rng.below(static_cast<std::uint64_t>(n)))});
+  return build_from_edges(n, n, edges);
+}
+
+BipartiteGraph rmat(int scale, double edge_factor, std::uint64_t seed,
+                    double a, double b, double c) {
+  require(scale >= 1 && scale <= 30, "rmat: scale out of range");
+  require(edge_factor > 0.0, "rmat: non-positive edge factor");
+  const double d = 1.0 - a - b - c;
+  require(a > 0 && b > 0 && c > 0 && d > 0, "rmat: bad quadrant probabilities");
+
+  const index_t n = static_cast<index_t>(1) << scale;
+  const auto num_edges =
+      static_cast<offset_t>(edge_factor * static_cast<double>(n));
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(num_edges));
+  for (offset_t e = 0; e < num_edges; ++e) {
+    index_t row = 0, col = 0;
+    for (int level = 0; level < scale; ++level) {
+      const double p = rng.uniform();
+      row <<= 1;
+      col <<= 1;
+      if (p < a) {
+        // top-left quadrant: nothing to add.
+      } else if (p < a + b) {
+        col |= 1;
+      } else if (p < a + b + c) {
+        row |= 1;
+      } else {
+        row |= 1;
+        col |= 1;
+      }
+    }
+    edges.push_back({row, col});
+  }
+  return build_from_edges(n, n, edges);
+}
+
+BipartiteGraph chung_lu(index_t num_rows, index_t num_cols, double avg_degree,
+                        double gamma, std::uint64_t seed) {
+  require(num_rows > 0 && num_cols > 0, "chung_lu: empty side");
+  require(avg_degree > 0.0, "chung_lu: non-positive degree");
+  require(gamma > 2.0, "chung_lu: exponent must exceed 2 for finite mean");
+  Rng rng(seed);
+
+  // Zipf-like weights w_i = (i+1)^{-1/(gamma-1)}; inverse-CDF sampling over
+  // the cumulative weights gives endpoint picks proportional to w.
+  auto make_cdf = [&](index_t n) {
+    std::vector<double> cdf(static_cast<std::size_t>(n));
+    double acc = 0.0;
+    const double exponent = -1.0 / (gamma - 1.0);
+    for (index_t i = 0; i < n; ++i) {
+      acc += std::pow(static_cast<double>(i + 1), exponent);
+      cdf[static_cast<std::size_t>(i)] = acc;
+    }
+    return cdf;
+  };
+  const auto row_cdf = make_cdf(num_rows);
+  const auto col_cdf = make_cdf(num_cols);
+
+  auto sample = [&](const std::vector<double>& cdf) {
+    const double target = rng.uniform() * cdf.back();
+    const auto it = std::upper_bound(cdf.begin(), cdf.end(), target);
+    return static_cast<index_t>(std::distance(cdf.begin(), it));
+  };
+
+  const auto num_edges = static_cast<offset_t>(
+      avg_degree * static_cast<double>(std::min(num_rows, num_cols)));
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(num_edges));
+  for (offset_t e = 0; e < num_edges; ++e) {
+    index_t u = sample(row_cdf);
+    index_t v = sample(col_cdf);
+    if (u >= num_rows) u = num_rows - 1;  // guard FP edge of upper_bound
+    if (v >= num_cols) v = num_cols - 1;
+    edges.push_back({u, v});
+  }
+  auto g = build_from_edges(num_rows, num_cols, edges);
+  // Weights are index-sorted; permute so that degree is uncorrelated with
+  // vertex id, as in real collections.
+  return permute_vertices(g, seed ^ 0x9e3779b97f4a7c15ULL);
+}
+
+BipartiteGraph road_network(index_t nx, index_t ny, double keep_prob,
+                            std::uint64_t seed) {
+  require(nx > 0 && ny > 0, "road_network: empty lattice");
+  require(keep_prob > 0.0 && keep_prob <= 1.0, "road_network: bad keep_prob");
+  const offset_t n64 = static_cast<offset_t>(nx) * static_cast<offset_t>(ny);
+  require(n64 <= std::numeric_limits<index_t>::max(),
+          "road_network: lattice too large");
+  const auto n = static_cast<index_t>(n64);
+  Rng rng(seed);
+
+  auto id = [&](index_t x, index_t y) { return x * ny + y; };
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(4 * n));
+  for (index_t x = 0; x < nx; ++x) {
+    for (index_t y = 0; y < ny; ++y) {
+      if (x + 1 < nx && rng.chance(keep_prob))
+        push_symmetric(edges, id(x, y), id(x + 1, y));
+      if (y + 1 < ny && rng.chance(keep_prob))
+        push_symmetric(edges, id(x, y), id(x, y + 1));
+    }
+  }
+  // Shortcuts: highways / bridges, ~0.2% of vertices.
+  const auto shortcuts = static_cast<offset_t>(static_cast<double>(n) * 0.002);
+  for (offset_t s = 0; s < shortcuts; ++s) {
+    const auto i =
+        static_cast<index_t>(rng.below(static_cast<std::uint64_t>(n)));
+    const auto j =
+        static_cast<index_t>(rng.below(static_cast<std::uint64_t>(n)));
+    if (i != j) push_symmetric(edges, i, j);
+  }
+  return build_from_edges(n, n, edges);
+}
+
+BipartiteGraph delaunay_mesh(index_t nx, index_t ny, std::uint64_t seed) {
+  require(nx > 0 && ny > 0, "delaunay_mesh: empty lattice");
+  const offset_t n64 = static_cast<offset_t>(nx) * static_cast<offset_t>(ny);
+  require(n64 <= std::numeric_limits<index_t>::max(),
+          "delaunay_mesh: lattice too large");
+  const auto n = static_cast<index_t>(n64);
+  Rng rng(seed);
+
+  auto id = [&](index_t x, index_t y) { return x * ny + y; };
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(6 * n));
+  for (index_t x = 0; x < nx; ++x) {
+    for (index_t y = 0; y < ny; ++y) {
+      if (x + 1 < nx) push_symmetric(edges, id(x, y), id(x + 1, y));
+      if (y + 1 < ny) push_symmetric(edges, id(x, y), id(x, y + 1));
+      if (x + 1 < nx && y + 1 < ny) {
+        // One diagonal per cell, at random — triangulates the lattice.
+        if (rng.chance(0.5))
+          push_symmetric(edges, id(x, y), id(x + 1, y + 1));
+        else
+          push_symmetric(edges, id(x + 1, y), id(x, y + 1));
+      }
+    }
+  }
+  return build_from_edges(n, n, edges);
+}
+
+BipartiteGraph trace_mesh(index_t length, index_t width, double hole_prob,
+                          std::uint64_t seed) {
+  require(length > 0 && width > 0, "trace_mesh: empty strip");
+  require(hole_prob >= 0.0 && hole_prob < 1.0, "trace_mesh: bad hole_prob");
+  const offset_t n64 =
+      static_cast<offset_t>(length) * static_cast<offset_t>(width);
+  require(n64 <= std::numeric_limits<index_t>::max(),
+          "trace_mesh: strip too large");
+  const auto n = static_cast<index_t>(n64);
+  Rng rng(seed);
+
+  // Punch holes first so that both endpoints of an edge can be checked.
+  std::vector<char> alive(static_cast<std::size_t>(n), 1);
+  for (index_t v = 0; v < n; ++v)
+    if (rng.chance(hole_prob)) alive[static_cast<std::size_t>(v)] = 0;
+
+  auto id = [&](index_t x, index_t y) { return x * width + y; };
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(3 * n));
+  for (index_t x = 0; x < length; ++x) {
+    for (index_t y = 0; y < width; ++y) {
+      if (!alive[static_cast<std::size_t>(id(x, y))]) continue;
+      if (x + 1 < length && alive[static_cast<std::size_t>(id(x + 1, y))])
+        push_symmetric(edges, id(x, y), id(x + 1, y));
+      if (y + 1 < width && alive[static_cast<std::size_t>(id(x, y + 1))])
+        push_symmetric(edges, id(x, y), id(x, y + 1));
+      // Triangulate the strip like the huge* FEM meshes.
+      if (x + 1 < length && y + 1 < width &&
+          alive[static_cast<std::size_t>(id(x + 1, y + 1))])
+        push_symmetric(edges, id(x, y), id(x + 1, y + 1));
+    }
+  }
+  return build_from_edges(n, n, edges);
+}
+
+BipartiteGraph copaper(index_t num_vertices, index_t num_communities,
+                       double avg_community, std::uint64_t seed) {
+  require(num_vertices > 0, "copaper: no vertices");
+  require(num_communities > 0, "copaper: no communities");
+  require(avg_community >= 2.0, "copaper: communities need >= 2 members");
+  Rng rng(seed);
+
+  constexpr index_t kMaxCommunity = 64;  // keeps |E| = O(sum s^2) bounded
+  std::vector<Edge> edges;
+  for (index_t comm = 0; comm < num_communities; ++comm) {
+    // Community size: geometric-ish around the mean, capped.
+    auto size = static_cast<index_t>(
+        2 + rng.below(static_cast<std::uint64_t>(2.0 * (avg_community - 2.0) + 1.0)));
+    size = std::min(size, kMaxCommunity);
+    // Members live in a local window (papers cluster by field/venue).
+    const auto window = static_cast<std::uint64_t>(
+        std::min<offset_t>(num_vertices, 8 * static_cast<offset_t>(size)));
+    const auto base = static_cast<index_t>(rng.below(
+        static_cast<std::uint64_t>(num_vertices) - window + 1));
+    std::vector<index_t> members(static_cast<std::size_t>(size));
+    for (auto& m : members)
+      m = base + static_cast<index_t>(rng.below(window));
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()), members.end());
+    for (std::size_t i = 0; i < members.size(); ++i)
+      for (std::size_t j = i + 1; j < members.size(); ++j)
+        push_symmetric(edges, members[i], members[j]);
+  }
+  return build_from_edges(num_vertices, num_vertices, edges);
+}
+
+BipartiteGraph complete_bipartite(index_t m, index_t n) {
+  require(m >= 0 && n >= 0, "complete_bipartite: negative dimension");
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(m) * static_cast<std::size_t>(n));
+  for (index_t u = 0; u < m; ++u)
+    for (index_t v = 0; v < n; ++v) edges.push_back({u, v});
+  return build_from_edges(m, n, edges);
+}
+
+BipartiteGraph empty_graph(index_t m, index_t n) {
+  return build_from_edges(m, n, std::span<const Edge>{});
+}
+
+BipartiteGraph star(index_t leaves) {
+  require(leaves >= 1, "star: need at least one leaf");
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(leaves));
+  for (index_t v = 0; v < leaves; ++v) edges.push_back({0, v});
+  return build_from_edges(1, leaves, edges);
+}
+
+BipartiteGraph chain(index_t k) {
+  require(k >= 1, "chain: need at least one link");
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(2 * k - 1));
+  // r_i — c_i for all i, and c_i — r_{i+1} linking consecutive pairs.
+  for (index_t i = 0; i < k; ++i) {
+    edges.push_back({i, i});
+    if (i + 1 < k) edges.push_back({i + 1, i});
+  }
+  return build_from_edges(k, k, edges);
+}
+
+}  // namespace bpm::graph::gen

@@ -1,0 +1,132 @@
+#include "graph/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+namespace bpm::graph {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("matrix market: line " + std::to_string(line_no) +
+                           ": " + what);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+BipartiteGraph read_matrix_market(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+
+  // --- Header -------------------------------------------------------------
+  if (!std::getline(in, line)) fail(1, "empty stream");
+  ++line_no;
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (lower(banner) != "%%matrixmarket") fail(line_no, "missing banner");
+  if (lower(object) != "matrix") fail(line_no, "only 'matrix' is supported");
+  if (lower(format) != "coordinate")
+    fail(line_no, "only 'coordinate' (sparse) is supported");
+  field = lower(field);
+  symmetry = lower(symmetry);
+  const bool pattern = field == "pattern";
+  const bool complex_field = field == "complex";
+  if (!pattern && field != "real" && field != "integer" && !complex_field)
+    fail(line_no, "unsupported field type '" + field + "'");
+  const bool symmetric = symmetry == "symmetric" ||
+                         symmetry == "skew-symmetric" ||
+                         symmetry == "hermitian";
+  if (!symmetric && symmetry != "general")
+    fail(line_no, "unsupported symmetry '" + symmetry + "'");
+
+  // --- Size line (skipping comments) --------------------------------------
+  long long nrows = -1, ncols = -1, nnz = -1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream ls(line);
+    if (!(ls >> nrows >> ncols >> nnz)) fail(line_no, "bad size line");
+    break;
+  }
+  if (nrows < 0) fail(line_no, "missing size line");
+  if (nrows > std::numeric_limits<index_t>::max() ||
+      ncols > std::numeric_limits<index_t>::max())
+    fail(line_no, "matrix too large for 32-bit indices");
+
+  // --- Entries -------------------------------------------------------------
+  if (nnz < 0) fail(line_no, "negative entry count");
+  std::vector<Edge> edges;
+  // Reserve is only a hint: clamp it so a hostile header (declaring
+  // billions of entries it never provides) cannot force a huge upfront
+  // allocation before the entry loop rejects the file.
+  constexpr long long kReserveCap = 1 << 22;
+  edges.reserve(static_cast<std::size_t>(
+      std::min(symmetric ? 2 * nnz : nnz, kReserveCap)));
+  long long seen = 0;
+  while (seen < nnz && std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream ls(line);
+    long long i = 0, j = 0;
+    if (!(ls >> i >> j)) fail(line_no, "bad entry");
+    if (!pattern) {
+      double value = 0.0;
+      if (!(ls >> value)) fail(line_no, "missing value");
+      if (complex_field) {
+        double imag = 0.0;
+        if (!(ls >> imag)) fail(line_no, "missing imaginary part");
+      }
+    }
+    if (i < 1 || i > nrows || j < 1 || j > ncols)
+      fail(line_no, "entry out of bounds");
+    const auto u = static_cast<index_t>(i - 1);
+    const auto v = static_cast<index_t>(j - 1);
+    edges.push_back({u, v});
+    if (symmetric && i != j) {
+      // Only the lower triangle is stored; mirror the entry to (j, i).
+      if (nrows != ncols) fail(line_no, "symmetric matrix must be square");
+      edges.push_back({v, u});
+    }
+    ++seen;
+  }
+  if (seen != nnz) fail(line_no, "fewer entries than declared");
+
+  return build_from_edges(static_cast<index_t>(nrows),
+                          static_cast<index_t>(ncols), edges);
+}
+
+BipartiteGraph read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("matrix market: cannot open " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const BipartiteGraph& g) {
+  out << "%%MatrixMarket matrix coordinate pattern general\n";
+  out << "% written by bpm (push-relabel bipartite matching reproduction)\n";
+  out << g.num_rows() << ' ' << g.num_cols() << ' ' << g.num_edges() << '\n';
+  for (index_t u = 0; u < g.num_rows(); ++u)
+    for (index_t v : g.row_neighbors(u)) out << u + 1 << ' ' << v + 1 << '\n';
+}
+
+void write_matrix_market_file(const std::string& path,
+                              const BipartiteGraph& g) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("matrix market: cannot open " + path);
+  write_matrix_market(out, g);
+}
+
+}  // namespace bpm::graph

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/bipartite_graph.hpp"
+
+namespace bpm::graph {
+
+/// Matrix Market (.mtx) coordinate-format I/O.
+///
+/// The paper evaluates on bipartite graphs of sparse matrices from the
+/// UFL (SuiteSparse) collection, which are distributed in this format.
+/// A matrix A induces the bipartite graph with an edge {row i, column j}
+/// for every structural nonzero a_ij — numerical values are ignored for
+/// cardinality matching.
+///
+/// Supported headers:
+///   %%MatrixMarket matrix coordinate {pattern|real|integer|complex}
+///                  {general|symmetric|skew-symmetric|hermitian}
+/// Symmetric variants mirror each off-diagonal entry (i,j) to (j,i), as
+/// SuiteSparse stores only the lower triangle.
+///
+/// Throws `std::runtime_error` with a line number on malformed input.
+[[nodiscard]] BipartiteGraph read_matrix_market(std::istream& in);
+[[nodiscard]] BipartiteGraph read_matrix_market_file(const std::string& path);
+
+/// Writes `g` as a `pattern general` coordinate matrix (1-based indices).
+/// `read_matrix_market(write_matrix_market(g)) == g` structurally.
+void write_matrix_market(std::ostream& out, const BipartiteGraph& g);
+void write_matrix_market_file(const std::string& path,
+                              const BipartiteGraph& g);
+
+}  // namespace bpm::graph

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/bipartite_graph.hpp"
+#include "matching/matching.hpp"
+
+namespace bpm::matching::detail {
+
+using graph::offset_t;
+
+/// Scratch buffers for repeated DFS augmentation phases.  The lookahead
+/// cursors persist across phases: a row, once matched, never becomes
+/// unmatched in augmenting-path algorithms, so each adjacency slot needs
+/// to be *looked ahead at* at most once over the whole run (amortised
+/// O(|E|) total lookahead work — the "PF+" trick).
+struct DfsWorkspace {
+  std::vector<index_t> row_mark;    ///< phase id of last row visit
+  std::vector<offset_t> it;         ///< per-column DFS cursor (reset per phase)
+  std::vector<offset_t> lookahead;  ///< per-column lookahead cursor (persistent)
+  std::vector<index_t> col_stack;
+  std::vector<index_t> row_stack;
+  index_t phase_id = 0;
+
+  explicit DfsWorkspace(const BipartiteGraph& g)
+      : row_mark(static_cast<std::size_t>(g.num_rows()), -1),
+        it(static_cast<std::size_t>(g.num_cols()), 0),
+        lookahead(static_cast<std::size_t>(g.num_cols()), 0) {}
+};
+
+/// One phase of DFS-with-lookahead augmentation (Pothen–Fan): for every
+/// unmatched column, search for an augmenting path along rows not yet
+/// visited this phase; paths found within a phase are vertex-disjoint.
+/// Returns the number of augmentations applied to `m`.
+///
+/// This is also the Duff–Wiberg extra pass that HKDW runs after each
+/// layered Hopcroft–Karp phase.
+inline index_t dfs_augment_phase(const BipartiteGraph& g, Matching& m,
+                                 DfsWorkspace& ws) {
+  ++ws.phase_id;
+  std::fill(ws.it.begin(), ws.it.end(), 0);
+  const auto& col_ptr = g.col_ptr();
+  const auto& col_adj = g.col_adj();
+  index_t augmentations = 0;
+
+  // Lookahead: return an unmatched neighbor row of v, advancing the
+  // persistent cursor.  kUnmatched if the remaining slots hold none.
+  auto look_ahead = [&](index_t v) {
+    const auto vz = static_cast<std::size_t>(v);
+    const offset_t deg = col_ptr[vz + 1] - col_ptr[vz];
+    while (ws.lookahead[vz] < deg) {
+      const index_t u = col_adj[static_cast<std::size_t>(
+          col_ptr[vz] + ws.lookahead[vz])];
+      ++ws.lookahead[vz];
+      if (m.row_match[static_cast<std::size_t>(u)] == kUnmatched) return u;
+    }
+    return kUnmatched;
+  };
+
+  for (index_t start = 0; start < g.num_cols(); ++start) {
+    if (m.col_match[static_cast<std::size_t>(start)] != kUnmatched) continue;
+    ws.col_stack.assign(1, start);
+    ws.row_stack.clear();
+    index_t free_row = kUnmatched;
+
+    while (!ws.col_stack.empty() && free_row == kUnmatched) {
+      const index_t v = ws.col_stack.back();
+      const auto vz = static_cast<std::size_t>(v);
+
+      // Cheap exit: any directly unmatched neighbor ends the path here.
+      const index_t direct = look_ahead(v);
+      if (direct != kUnmatched &&
+          ws.row_mark[static_cast<std::size_t>(direct)] != ws.phase_id) {
+        ws.row_mark[static_cast<std::size_t>(direct)] = ws.phase_id;
+        free_row = direct;
+        break;
+      }
+
+      bool descended = false;
+      const offset_t deg = col_ptr[vz + 1] - col_ptr[vz];
+      while (ws.it[vz] < deg) {
+        const index_t u =
+            col_adj[static_cast<std::size_t>(col_ptr[vz] + ws.it[vz])];
+        ++ws.it[vz];
+        const auto uz = static_cast<std::size_t>(u);
+        if (ws.row_mark[uz] == ws.phase_id) continue;
+        const index_t w = m.row_match[uz];
+        if (w == kUnmatched) {
+          ws.row_mark[uz] = ws.phase_id;
+          free_row = u;
+          descended = true;
+          break;
+        }
+        ws.row_mark[uz] = ws.phase_id;
+        ws.row_stack.push_back(u);
+        ws.col_stack.push_back(w);
+        descended = true;
+        break;
+      }
+      if (!descended) {
+        ws.col_stack.pop_back();
+        if (!ws.row_stack.empty()) ws.row_stack.pop_back();
+      }
+    }
+    if (free_row == kUnmatched) continue;
+
+    index_t carry_row = free_row;
+    for (std::size_t i = ws.col_stack.size(); i-- > 0;) {
+      const index_t v = ws.col_stack[i];
+      m.row_match[static_cast<std::size_t>(carry_row)] = v;
+      m.col_match[static_cast<std::size_t>(v)] = carry_row;
+      if (i > 0) carry_row = ws.row_stack[i - 1];
+    }
+    ++augmentations;
+  }
+  return augmentations;
+}
+
+}  // namespace bpm::matching::detail

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "graph/bipartite_graph.hpp"
+#include "matching/matching.hpp"
+
+namespace bpm::matching::detail {
+
+using graph::offset_t;
+
+/// Scratch buffers for Hopcroft–Karp phases, shared by `hopcroft_karp`
+/// and `hkdw`.
+struct HkWorkspace {
+  std::vector<index_t> dist;      ///< BFS layer per column
+  std::vector<index_t> row_mark;  ///< phase id of last row visit
+  std::vector<offset_t> it;       ///< per-column DFS cursor
+  std::vector<index_t> col_stack;
+  std::vector<index_t> row_stack;
+  index_t phase_id = 0;
+
+  explicit HkWorkspace(const BipartiteGraph& g)
+      : dist(static_cast<std::size_t>(g.num_cols())),
+        row_mark(static_cast<std::size_t>(g.num_rows()), -1),
+        it(static_cast<std::size_t>(g.num_cols()), 0) {}
+};
+
+inline constexpr index_t kHkInf = std::numeric_limits<index_t>::max();
+
+/// One Hopcroft–Karp phase: layer the graph by BFS from unmatched columns
+/// (stopping at the first layer that reaches an unmatched row), then
+/// augment along a maximal set of vertex-disjoint shortest paths by
+/// iterative DFS within the layers.
+///
+/// Returns false — without touching `m` — when no augmenting path exists,
+/// i.e. the matching is maximum (Berge).  Otherwise applies the
+/// augmentations, adds their count to `*augmentations`, and returns true.
+inline bool hk_phase(const BipartiteGraph& g, Matching& m, HkWorkspace& ws,
+                     index_t* augmentations) {
+  // ---- BFS ---------------------------------------------------------------
+  std::fill(ws.dist.begin(), ws.dist.end(), kHkInf);
+  std::deque<index_t> queue;
+  for (index_t v = 0; v < g.num_cols(); ++v) {
+    if (m.col_match[static_cast<std::size_t>(v)] == kUnmatched) {
+      ws.dist[static_cast<std::size_t>(v)] = 0;
+      queue.push_back(v);
+    }
+  }
+  index_t found_level = kHkInf;
+  while (!queue.empty()) {
+    const index_t v = queue.front();
+    queue.pop_front();
+    const index_t dv = ws.dist[static_cast<std::size_t>(v)];
+    if (dv >= found_level) break;  // all shortest paths already layered
+    for (index_t u : g.col_neighbors(v)) {
+      const index_t w = m.row_match[static_cast<std::size_t>(u)];
+      if (w == kUnmatched) {
+        found_level = std::min(found_level, dv);
+      } else if (ws.dist[static_cast<std::size_t>(w)] == kHkInf) {
+        ws.dist[static_cast<std::size_t>(w)] = dv + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  if (found_level == kHkInf) return false;
+
+  // ---- Layered DFS ---------------------------------------------------------
+  ++ws.phase_id;
+  std::fill(ws.it.begin(), ws.it.end(), 0);
+  const auto& col_ptr = g.col_ptr();
+  const auto& col_adj = g.col_adj();
+
+  for (index_t start = 0; start < g.num_cols(); ++start) {
+    if (m.col_match[static_cast<std::size_t>(start)] != kUnmatched) continue;
+    ws.col_stack.assign(1, start);
+    ws.row_stack.clear();
+    index_t free_row = kUnmatched;
+
+    while (!ws.col_stack.empty() && free_row == kUnmatched) {
+      const index_t v = ws.col_stack.back();
+      const auto vz = static_cast<std::size_t>(v);
+      bool descended = false;
+      const offset_t deg = col_ptr[vz + 1] - col_ptr[vz];
+      while (ws.it[vz] < deg) {
+        const index_t u =
+            col_adj[static_cast<std::size_t>(col_ptr[vz] + ws.it[vz])];
+        ++ws.it[vz];
+        const auto uz = static_cast<std::size_t>(u);
+        if (ws.row_mark[uz] == ws.phase_id) continue;
+        const index_t w = m.row_match[uz];
+        if (w == kUnmatched) {
+          ws.row_mark[uz] = ws.phase_id;
+          free_row = u;
+          descended = true;
+          break;
+        }
+        if (ws.dist[static_cast<std::size_t>(w)] ==
+            ws.dist[vz] + 1) {
+          ws.row_mark[uz] = ws.phase_id;
+          ws.row_stack.push_back(u);
+          ws.col_stack.push_back(w);
+          descended = true;
+          break;
+        }
+      }
+      if (!descended) {
+        ws.col_stack.pop_back();
+        if (!ws.row_stack.empty()) ws.row_stack.pop_back();
+      }
+    }
+    if (free_row == kUnmatched) continue;
+
+    index_t carry_row = free_row;
+    for (std::size_t i = ws.col_stack.size(); i-- > 0;) {
+      const index_t v = ws.col_stack[i];
+      m.row_match[static_cast<std::size_t>(carry_row)] = v;
+      m.col_match[static_cast<std::size_t>(v)] = carry_row;
+      if (i > 0) carry_row = ws.row_stack[i - 1];
+    }
+    ++*augmentations;
+  }
+  return true;
+}
+
+}  // namespace bpm::matching::detail

@@ -1,0 +1,241 @@
+#include "matching/dulmage_mendelsohn.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace bpm::matching {
+
+namespace {
+
+using graph::index_t;
+
+/// Marks all vertices reachable from unmatched columns by alternating
+/// paths (column → any edge → row → matched edge → column).
+void reach_from_unmatched_cols(const BipartiteGraph& g, const Matching& m,
+                               std::vector<char>& row_reached,
+                               std::vector<char>& col_reached) {
+  std::deque<index_t> queue;  // columns
+  for (index_t v = 0; v < g.num_cols(); ++v) {
+    if (m.col_match[static_cast<std::size_t>(v)] < 0) {
+      col_reached[static_cast<std::size_t>(v)] = 1;
+      queue.push_back(v);
+    }
+  }
+  while (!queue.empty()) {
+    const index_t v = queue.front();
+    queue.pop_front();
+    for (index_t u : g.col_neighbors(v)) {
+      if (row_reached[static_cast<std::size_t>(u)]) continue;
+      row_reached[static_cast<std::size_t>(u)] = 1;
+      const index_t w = m.row_match[static_cast<std::size_t>(u)];
+      if (w >= 0 && !col_reached[static_cast<std::size_t>(w)]) {
+        col_reached[static_cast<std::size_t>(w)] = 1;
+        queue.push_back(w);
+      }
+    }
+  }
+}
+
+/// Symmetric: reachable from unmatched rows (row → any edge → column →
+/// matched edge → row).
+void reach_from_unmatched_rows(const BipartiteGraph& g, const Matching& m,
+                               std::vector<char>& row_reached,
+                               std::vector<char>& col_reached) {
+  std::deque<index_t> queue;  // rows
+  for (index_t u = 0; u < g.num_rows(); ++u) {
+    if (m.row_match[static_cast<std::size_t>(u)] < 0) {
+      row_reached[static_cast<std::size_t>(u)] = 1;
+      queue.push_back(u);
+    }
+  }
+  while (!queue.empty()) {
+    const index_t u = queue.front();
+    queue.pop_front();
+    for (index_t v : g.row_neighbors(u)) {
+      if (col_reached[static_cast<std::size_t>(v)]) continue;
+      col_reached[static_cast<std::size_t>(v)] = 1;
+      const index_t w = m.col_match[static_cast<std::size_t>(v)];
+      if (w >= 0 && !row_reached[static_cast<std::size_t>(w)]) {
+        row_reached[static_cast<std::size_t>(w)] = 1;
+        queue.push_back(w);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+DulmageMendelsohn dulmage_mendelsohn(const BipartiteGraph& g,
+                                     const Matching& m) {
+  if (!m.is_valid(g))
+    throw std::invalid_argument("dulmage_mendelsohn: invalid matching: " +
+                                m.first_violation(g));
+  const auto nrows = static_cast<std::size_t>(g.num_rows());
+  const auto ncols = static_cast<std::size_t>(g.num_cols());
+
+  std::vector<char> h_row(nrows, 0), h_col(ncols, 0);  // from unmatched cols
+  std::vector<char> v_row(nrows, 0), v_col(ncols, 0);  // from unmatched rows
+  reach_from_unmatched_cols(g, m, h_row, h_col);
+  reach_from_unmatched_rows(g, m, v_row, v_col);
+
+  DulmageMendelsohn dm;
+  dm.row_block.resize(nrows);
+  dm.col_block.resize(ncols);
+  for (std::size_t i = 0; i < nrows; ++i) {
+    if (h_row[i] && v_row[i])
+      throw std::logic_error(
+          "dulmage_mendelsohn: alternating reach sets overlap — the given "
+          "matching is not maximum (an augmenting path exists)");
+    dm.row_block[i] = h_row[i]   ? DulmageMendelsohn::Block::kHorizontal
+                      : v_row[i] ? DulmageMendelsohn::Block::kVertical
+                                 : DulmageMendelsohn::Block::kSquare;
+    switch (dm.row_block[i]) {
+      case DulmageMendelsohn::Block::kHorizontal: ++dm.horizontal_rows; break;
+      case DulmageMendelsohn::Block::kSquare: ++dm.square_rows; break;
+      case DulmageMendelsohn::Block::kVertical: ++dm.vertical_rows; break;
+    }
+  }
+  for (std::size_t j = 0; j < ncols; ++j) {
+    if (h_col[j] && v_col[j])
+      throw std::logic_error(
+          "dulmage_mendelsohn: alternating reach sets overlap — the given "
+          "matching is not maximum (an augmenting path exists)");
+    dm.col_block[j] = h_col[j]   ? DulmageMendelsohn::Block::kHorizontal
+                      : v_col[j] ? DulmageMendelsohn::Block::kVertical
+                                 : DulmageMendelsohn::Block::kSquare;
+    switch (dm.col_block[j]) {
+      case DulmageMendelsohn::Block::kHorizontal: ++dm.horizontal_cols; break;
+      case DulmageMendelsohn::Block::kSquare: ++dm.square_cols; break;
+      case DulmageMendelsohn::Block::kVertical: ++dm.vertical_cols; break;
+    }
+  }
+  return dm;
+}
+
+FineDecomposition fine_decomposition(const BipartiteGraph& g,
+                                     const Matching& m,
+                                     const DulmageMendelsohn& dm) {
+  if (!m.is_valid(g))
+    throw std::invalid_argument("fine_decomposition: invalid matching");
+  const auto nrows = static_cast<std::size_t>(g.num_rows());
+
+  FineDecomposition fine;
+  fine.block_of_row.assign(nrows, -1);
+
+  // Digraph nodes are the square block's matched pairs, identified by
+  // their row.  Arc u -> u' whenever (u, col of pair u') is an entry,
+  // i.e. for every v in Γ(u) in the square block, u -> col_match[v].
+  // Iterative Tarjan SCC; components are emitted in reverse topological
+  // order, which is exactly a valid block-triangular numbering.
+  std::vector<index_t> order_index(nrows, -1);  // Tarjan index
+  std::vector<index_t> low_link(nrows, 0);
+  std::vector<char> on_stack(nrows, 0);
+  std::vector<index_t> scc_stack;
+  index_t next_index = 0;
+
+  struct Frame {
+    index_t u;
+    std::size_t next_neighbor;
+  };
+  std::vector<Frame> dfs;
+
+  auto is_square_row = [&](index_t u) {
+    return dm.row_block[static_cast<std::size_t>(u)] ==
+               DulmageMendelsohn::Block::kSquare &&
+           m.row_match[static_cast<std::size_t>(u)] >= 0;
+  };
+  auto arc_target = [&](index_t u, std::size_t slot) -> index_t {
+    // The slot-th neighbor of u if it stays inside the square block, or
+    // -1 for columns outside it (square rows can touch vertical-block
+    // columns; those arcs leave the BTF region and are dropped).
+    const index_t v = g.row_neighbors(u)[slot];
+    if (dm.col_block[static_cast<std::size_t>(v)] !=
+        DulmageMendelsohn::Block::kSquare)
+      return -1;
+    return m.col_match[static_cast<std::size_t>(v)];
+  };
+
+  for (index_t root = 0; root < g.num_rows(); ++root) {
+    if (!is_square_row(root) ||
+        order_index[static_cast<std::size_t>(root)] != -1)
+      continue;
+    dfs.push_back({root, 0});
+    order_index[static_cast<std::size_t>(root)] = next_index;
+    low_link[static_cast<std::size_t>(root)] = next_index;
+    ++next_index;
+    scc_stack.push_back(root);
+    on_stack[static_cast<std::size_t>(root)] = 1;
+
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      const auto uz = static_cast<std::size_t>(frame.u);
+      const auto degree = g.row_neighbors(frame.u).size();
+      bool descended = false;
+      while (frame.next_neighbor < degree) {
+        const index_t w = arc_target(frame.u, frame.next_neighbor);
+        ++frame.next_neighbor;
+        if (w < 0) continue;
+        const auto wz = static_cast<std::size_t>(w);
+        if (order_index[wz] == -1) {
+          order_index[wz] = next_index;
+          low_link[wz] = next_index;
+          ++next_index;
+          scc_stack.push_back(w);
+          on_stack[wz] = 1;
+          dfs.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[wz])
+          low_link[uz] = std::min(low_link[uz], order_index[wz]);
+      }
+      if (descended) continue;
+
+      if (low_link[uz] == order_index[uz]) {
+        // frame.u roots an SCC: pop it as the next diagonal block.
+        while (true) {
+          const index_t w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = 0;
+          fine.block_of_row[static_cast<std::size_t>(w)] = fine.num_blocks;
+          if (w == frame.u) break;
+        }
+        ++fine.num_blocks;
+      }
+      const index_t u_low = low_link[uz];
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        const auto pz = static_cast<std::size_t>(dfs.back().u);
+        low_link[pz] = std::min(low_link[pz], u_low);
+      }
+    }
+  }
+  return fine;
+}
+
+VertexCover minimum_vertex_cover(const BipartiteGraph& g, const Matching& m) {
+  if (!m.is_valid(g))
+    throw std::invalid_argument("minimum_vertex_cover: invalid matching");
+  const auto nrows = static_cast<std::size_t>(g.num_rows());
+  const auto ncols = static_cast<std::size_t>(g.num_cols());
+
+  // König with columns as the "free" side: Z = vertices reachable from
+  // unmatched columns by alternating paths; the cover is
+  // (rows ∩ Z) ∪ (columns \ Z).  Every column outside Z is matched (all
+  // unmatched columns are Z sources), and |cover| = |M|.
+  std::vector<char> row_reached(nrows, 0), col_reached(ncols, 0);
+  reach_from_unmatched_cols(g, m, row_reached, col_reached);
+
+  VertexCover cover;
+  cover.row_in_cover.assign(nrows, 0);
+  cover.col_in_cover.assign(ncols, 0);
+  for (std::size_t i = 0; i < nrows; ++i)
+    cover.row_in_cover[i] = row_reached[i] ? 1 : 0;
+  for (std::size_t j = 0; j < ncols; ++j) {
+    const index_t u = m.col_match[j];
+    cover.col_in_cover[j] = (u >= 0 && !col_reached[j]) ? 1 : 0;
+  }
+  return cover;
+}
+
+}  // namespace bpm::matching

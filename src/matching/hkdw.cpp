@@ -1,0 +1,30 @@
+#include "matching/hkdw.hpp"
+
+#include <stdexcept>
+
+#include "matching/detail/augment_dfs.hpp"
+#include "matching/detail/hk_phase.hpp"
+
+namespace bpm::matching {
+
+Matching hkdw(const BipartiteGraph& g, Matching init, HkdwStats* stats) {
+  if (!init.is_valid(g))
+    throw std::invalid_argument("hkdw: invalid initial matching");
+  HkdwStats local{};
+  if (!stats) stats = &local;
+
+  Matching m = std::move(init);
+  detail::HkWorkspace hk_ws(g);
+  detail::DfsWorkspace dfs_ws(g);
+  while (true) {
+    index_t hk_augmented = 0;
+    if (!detail::hk_phase(g, m, hk_ws, &hk_augmented)) break;
+    ++stats->phases;
+    stats->hk_augmentations += hk_augmented;
+    // Duff–Wiberg: sweep up longer paths before paying for another BFS.
+    stats->dw_augmentations += detail::dfs_augment_phase(g, m, dfs_ws);
+  }
+  return m;
+}
+
+}  // namespace bpm::matching

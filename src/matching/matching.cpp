@@ -1,0 +1,68 @@
+#include "matching/matching.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace bpm::matching {
+
+index_t Matching::cardinality() const {
+  index_t count = 0;
+  for (index_t v : row_match)
+    if (v >= 0) ++count;
+  return count;
+}
+
+bool Matching::is_valid(const BipartiteGraph& g) const {
+  return first_violation(g).empty();
+}
+
+std::string Matching::first_violation(const BipartiteGraph& g) const {
+  std::ostringstream os;
+  if (row_match.size() != static_cast<std::size_t>(g.num_rows()) ||
+      col_match.size() != static_cast<std::size_t>(g.num_cols())) {
+    os << "shape mismatch: " << row_match.size() << "x" << col_match.size()
+       << " vs graph " << g.num_rows() << "x" << g.num_cols();
+    return os.str();
+  }
+  for (index_t u = 0; u < g.num_rows(); ++u) {
+    const index_t v = row_match[static_cast<std::size_t>(u)];
+    if (v == kUnmatched) continue;
+    if (v < 0 || v >= g.num_cols()) {
+      os << "row " << u << " matched to out-of-range column " << v;
+      return os.str();
+    }
+    if (col_match[static_cast<std::size_t>(v)] != u) {
+      os << "row " << u << " claims column " << v << " but column claims "
+         << col_match[static_cast<std::size_t>(v)];
+      return os.str();
+    }
+    if (!g.has_edge(u, v)) {
+      os << "matched pair (" << u << ", " << v << ") is not an edge";
+      return os.str();
+    }
+  }
+  for (index_t v = 0; v < g.num_cols(); ++v) {
+    const index_t u = col_match[static_cast<std::size_t>(v)];
+    if (u == kUnmatched || u == kUnmatchable) continue;
+    if (u < 0 || u >= g.num_rows()) {
+      os << "column " << v << " matched to out-of-range row " << u;
+      return os.str();
+    }
+    if (row_match[static_cast<std::size_t>(u)] != v) {
+      os << "column " << v << " claims row " << u << " but row claims "
+         << row_match[static_cast<std::size_t>(u)];
+      return os.str();
+    }
+  }
+  return {};
+}
+
+void Matching::match(index_t u, index_t v) {
+  if (row_match[static_cast<std::size_t>(u)] != kUnmatched ||
+      col_match[static_cast<std::size_t>(v)] != kUnmatched)
+    throw std::logic_error("Matching::match: endpoint already matched");
+  row_match[static_cast<std::size_t>(u)] = v;
+  col_match[static_cast<std::size_t>(v)] = u;
+}
+
+}  // namespace bpm::matching

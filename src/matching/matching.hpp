@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/bipartite_graph.hpp"
+
+namespace bpm::matching {
+
+using graph::BipartiteGraph;
+using graph::index_t;
+
+/// Sentinel values in the µ arrays, following the paper's convention.
+inline constexpr index_t kUnmatched = -1;     ///< µ(x) = −1
+inline constexpr index_t kUnmatchable = -2;   ///< µ(v) = −2 (inactive column)
+
+/// A (partial) matching M of a bipartite graph, stored as the paper's µ
+/// arrays: `row_match[u]` is the column matched to row u (or −1), and
+/// `col_match[v]` the row matched to column v (−1 unmatched, −2 proven
+/// unmatchable).
+///
+/// A *consistent* matching has `row_match[col_match[v]] == v` for every
+/// matched column and vice versa.  GPU kernels temporarily violate this on
+/// the column side (the paper's benign inconsistencies); `Matching` is the
+/// repaired, consistent form handed back to callers.
+struct Matching {
+  std::vector<index_t> row_match;
+  std::vector<index_t> col_match;
+
+  Matching() = default;
+
+  /// An empty matching of the right shape for `g`.
+  explicit Matching(const BipartiteGraph& g)
+      : row_match(static_cast<std::size_t>(g.num_rows()), kUnmatched),
+        col_match(static_cast<std::size_t>(g.num_cols()), kUnmatched) {}
+
+  /// |M|: number of matched pairs.  Rows are authoritative.
+  [[nodiscard]] index_t cardinality() const;
+
+  /// True if every matched pair is an edge of `g` and the two µ arrays
+  /// mutually agree.  O(|M| log d).
+  [[nodiscard]] bool is_valid(const BipartiteGraph& g) const;
+
+  /// Human-readable reason for the first validity violation, or "" if valid.
+  [[nodiscard]] std::string first_violation(const BipartiteGraph& g) const;
+
+  /// Adds edge {u, v}; both endpooints must be free.
+  void match(index_t u, index_t v);
+};
+
+}  // namespace bpm::matching

@@ -1,0 +1,119 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bpm {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  entries_[name] = Entry{help, "false", /*is_flag=*/true, /*flag_set=*/false};
+  order_.push_back(name);
+}
+
+void CliParser::add_option(const std::string& name, const std::string& help,
+                           const std::string& default_value) {
+  entries_[name] = Entry{help, default_value, /*is_flag=*/false,
+                         /*flag_set=*/false};
+  order_.push_back(name);
+}
+
+void CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage();
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> inline_value;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    auto it = entries_.find(name);
+    if (it == entries_.end())
+      throw std::invalid_argument(program_ + ": unknown flag --" + name);
+    Entry& e = it->second;
+    if (e.is_flag) {
+      if (inline_value)
+        throw std::invalid_argument(program_ + ": flag --" + name +
+                                    " does not take a value");
+      e.value = "true";
+      e.flag_set = true;
+    } else if (inline_value) {
+      e.value = *inline_value;
+    } else {
+      if (i + 1 >= argc)
+        throw std::invalid_argument(program_ + ": flag --" + name +
+                                    " expects a value");
+      e.value = argv[++i];
+    }
+  }
+}
+
+const CliParser::Entry& CliParser::find(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end())
+    throw std::invalid_argument(program_ + ": flag --" + name +
+                                " was never registered");
+  return it->second;
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  const Entry& e = find(name);
+  return e.value == "true";
+}
+
+const std::string& CliParser::get_string(const std::string& name) const {
+  return find(name).value;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  const Entry& e = find(name);
+  try {
+    std::size_t pos = 0;
+    auto v = std::stoll(e.value, &pos);
+    if (pos != e.value.size()) throw std::invalid_argument("trailing chars");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(program_ + ": --" + name + "=" + e.value +
+                                " is not an integer");
+  }
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const Entry& e = find(name);
+  try {
+    std::size_t pos = 0;
+    double v = std::stod(e.value, &pos);
+    if (pos != e.value.size()) throw std::invalid_argument("trailing chars");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(program_ + ": --" + name + "=" + e.value +
+                                " is not a number");
+  }
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nOptions:\n";
+  for (const auto& name : order_) {
+    const Entry& e = entries_.at(name);
+    os << "  --" << name;
+    if (!e.is_flag) os << " <value>  (default: " << e.value << ")";
+    os << "\n      " << e.help << "\n";
+  }
+  os << "  --help\n      print this message\n";
+  return os.str();
+}
+
+}  // namespace bpm

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace bpm {
+
+/// SplitMix64 — used to expand a single user seed into the state of the
+/// main generator, and as a cheap stateless hash for edge sampling.
+struct SplitMix64 {
+  std::uint64_t state;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) : state(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+};
+
+/// Xoshiro256** — the repository's deterministic pseudo-random generator.
+///
+/// Satisfies `std::uniform_random_bit_generator`, so it can drive the
+/// standard distributions and `std::shuffle`.  Every generator in
+/// `graph/generators.cpp` takes a seed and derives one of these, which makes
+/// all synthetic instances reproducible bit-for-bit across runs.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x42ULL) {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in `[0, bound)`.  `bound` must be positive.
+  /// Uses Lemire's multiply-shift rejection-free mapping (the tiny modulo
+  /// bias is irrelevant for graph generation).
+  std::uint64_t below(std::uint64_t bound) {
+    __extension__ using uint128 = unsigned __int128;
+    const auto x = operator()();
+    return static_cast<std::uint64_t>((static_cast<uint128>(x) * bound) >> 64);
+  }
+
+  /// Uniform integer in `[lo, hi]` inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in `[0, 1)`.
+  double uniform() {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability `p`.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace bpm

@@ -1,0 +1,96 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bpm {
+
+Table::Table(std::vector<std::string> headers, int double_precision)
+    : headers_(std::move(headers)), precision_(double_precision) {
+  if (headers_.empty())
+    throw std::invalid_argument("Table: need at least one column");
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("Table: row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render(const Cell& cell) const {
+  std::ostringstream os;
+  if (std::holds_alternative<std::string>(cell)) {
+    os << std::get<std::string>(cell);
+  } else if (std::holds_alternative<std::int64_t>(cell)) {
+    os << std::get<std::int64_t>(cell);
+  } else {
+    os << std::fixed << std::setprecision(precision_) << std::get<double>(cell);
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  const std::size_t ncols = headers_.size();
+  std::vector<std::size_t> width(ncols);
+  for (std::size_t c = 0; c < ncols; ++c) width[c] = headers_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(ncols);
+    for (std::size_t c = 0; c < ncols; ++c) {
+      r.push_back(render(row[c]));
+      width[c] = std::max(width[c], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      if (c) os << "  ";
+      if (c == 0)
+        os << std::left << std::setw(static_cast<int>(width[c])) << cells[c];
+      else
+        os << std::right << std::setw(static_cast<int>(width[c])) << cells[c];
+    }
+    os << '\n';
+  };
+
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < ncols; ++c) total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rendered) emit(r);
+}
+
+std::string Table::to_csv() const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ',';
+    os << escape(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << escape(render(row[c]));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace bpm

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace bpm {
+
+/// Aligned-text / CSV table writer used by every bench harness to print the
+/// paper-shaped tables (Figure 1 grid, Table I, profile series).
+///
+/// Cells are strings, integers, or doubles; doubles render with a fixed
+/// per-table precision.  Columns are right-aligned except the first, which
+/// is left-aligned (matches how the paper typesets Table I).
+class Table {
+ public:
+  using Cell = std::variant<std::string, std::int64_t, double>;
+
+  explicit Table(std::vector<std::string> headers, int double_precision = 2);
+
+  void add_row(std::vector<Cell> cells);
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Pretty-print with aligned columns and a header separator.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated values (header row first).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  [[nodiscard]] std::string render(const Cell& cell) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_;
+};
+
+}  // namespace bpm

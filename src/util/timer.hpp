@@ -1,0 +1,37 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace bpm {
+
+/// Monotonic wall-clock stopwatch.
+///
+/// The timer starts running on construction; `restart()` rewinds it and
+/// `elapsed_*()` reads it without stopping.  All benchmarks in `bench/`
+/// and the per-phase breakdowns in `core/stats.hpp` use this clock.
+class Timer {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Timer() : start_(clock::now()) {}
+
+  /// Rewind the stopwatch to zero.
+  void restart() { start_ = clock::now(); }
+
+  /// Seconds since construction or the last `restart()`.
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds since construction or the last `restart()`.
+  [[nodiscard]] double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+  /// Microseconds since construction or the last `restart()`.
+  [[nodiscard]] double elapsed_us() const { return elapsed_s() * 1e6; }
+
+ private:
+  clock::time_point start_;
+};
+
+}  // namespace bpm

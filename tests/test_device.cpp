@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "device/device.hpp"
+#include "device/mem.hpp"
+#include "device/scan.hpp"
+#include "device/thread_pool.hpp"
+
+namespace bpm::device {
+namespace {
+
+// ------------------------------------------------------------ ThreadPool ----
+
+TEST(ThreadPool, RunsJobOnEveryWorker) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run_on_all([&](unsigned id) { hits[id].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int i = 0; i < 200; ++i)
+    pool.run_on_all([&](unsigned) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 600);
+}
+
+TEST(ThreadPool, JoinPublishesWorkerWrites) {
+  ThreadPool pool(4);
+  std::vector<int> data(4, 0);  // plain ints: join must order the writes
+  pool.run_on_all([&](unsigned id) { data[id] = static_cast<int>(id) + 1; });
+  EXPECT_EQ(data, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, DefaultSizeIsHardware) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+// ---------------------------------------------------------------- Device ----
+
+class DeviceModes : public ::testing::TestWithParam<ExecMode> {};
+
+TEST_P(DeviceModes, LaunchCoversEveryIndexExactlyOnce) {
+  Device dev({.mode = GetParam(), .num_threads = 4});
+  std::vector<std::atomic<int>> hits(1000);
+  dev.launch(1000, [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_P(DeviceModes, LaunchCountsLaunches) {
+  Device dev({.mode = GetParam(), .num_threads = 2});
+  EXPECT_EQ(dev.launches(), 0u);
+  dev.launch(10, [](std::int64_t) {});
+  dev.launch(0, [](std::int64_t) {});  // empty grids still count
+  EXPECT_EQ(dev.launches(), 2u);
+  dev.reset_launch_count();
+  EXPECT_EQ(dev.launches(), 0u);
+}
+
+TEST_P(DeviceModes, LaunchChunkedPartitionsRange) {
+  Device dev({.mode = GetParam(), .num_threads = 3});
+  std::vector<std::atomic<int>> hits(100);
+  dev.launch_chunked(100, [&](unsigned, std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i)
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_P(DeviceModes, LaunchBarrierPublishesWrites) {
+  Device dev({.mode = GetParam(), .num_threads = 4});
+  std::vector<int> data(257, 0);
+  dev.launch(257, [&](std::int64_t i) { data[static_cast<std::size_t>(i)] = 1; });
+  EXPECT_EQ(std::accumulate(data.begin(), data.end(), 0), 257);
+}
+
+TEST_P(DeviceModes, SmallGridsWithManyWorkers) {
+  // n < workers: chunking must not duplicate or drop indices.
+  Device dev({.mode = GetParam(), .num_threads = 8});
+  std::vector<std::atomic<int>> hits(3);
+  dev.launch(3, [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, DeviceModes,
+                         ::testing::Values(ExecMode::kSequential,
+                                           ExecMode::kConcurrent),
+                         [](const auto& param_info) {
+                           return param_info.param == ExecMode::kSequential
+                                      ? "Sequential"
+                                      : "Concurrent";
+                         });
+
+TEST(Device, SequentialModeRunsInOrder) {
+  Device dev({.mode = ExecMode::kSequential});
+  std::vector<std::int64_t> order;
+  dev.launch(10, [&](std::int64_t i) { order.push_back(i); });
+  for (std::int64_t i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+// ------------------------------------------------------------------- mem ----
+
+TEST(Mem, RelaxedCellLoadStore) {
+  relaxed_cell<std::int32_t> c(5);
+  EXPECT_EQ(c.load(), 5);
+  c.store(-2);
+  EXPECT_EQ(c.load(), -2);
+  EXPECT_EQ(c.load_seq_cst(), -2);
+}
+
+TEST(Mem, RelaxedVectorBulkOps) {
+  relaxed_vector<std::int32_t> v(4, 7);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.load(2), 7);
+  v.store(2, 9);
+  EXPECT_EQ(v.load(2), 9);
+  v.fill(1);
+  EXPECT_EQ(v.to_host(), (std::vector<std::int32_t>{1, 1, 1, 1}));
+  v.assign_from({3, 2, 1});
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.load(0), 3);
+}
+
+TEST(Mem, RelaxedVectorSwapIsConstantTimeExchange) {
+  relaxed_vector<std::int32_t> a(2, 1), b(3, 2);
+  a.swap(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(a.load(0), 2);
+  EXPECT_EQ(b.load(0), 1);
+}
+
+TEST(Mem, DeviceFlagRaiseFromKernel) {
+  Device dev({.mode = ExecMode::kConcurrent, .num_threads = 4});
+  device_flag flag;
+  EXPECT_FALSE(flag.is_raised());
+  dev.launch(100, [&](std::int64_t i) {
+    if (i == 37) flag.raise();
+  });
+  EXPECT_TRUE(flag.is_raised());
+  flag.reset();
+  EXPECT_FALSE(flag.is_raised());
+}
+
+TEST(Mem, ConcurrentSameValueWritesAreBenign) {
+  // The G-GR pattern: many threads store the same value to one cell.
+  Device dev({.mode = ExecMode::kConcurrent, .num_threads = 8});
+  relaxed_vector<std::int32_t> cell(1, 0);
+  dev.launch(10000, [&](std::int64_t) { cell.store(0, 42); });
+  EXPECT_EQ(cell.load(0), 42);
+}
+
+TEST(Mem, ConcurrentLastWriterWinsSettlesOnSomeWrittenValue) {
+  // The µ(u) pattern: racing writes of different values; after the launch
+  // barrier the cell holds one of them.
+  Device dev({.mode = ExecMode::kConcurrent, .num_threads = 8});
+  relaxed_vector<std::int32_t> cell(1, -1);
+  dev.launch(64, [&](std::int64_t i) {
+    cell.store(0, static_cast<std::int32_t>(i));
+  });
+  const auto v = cell.load(0);
+  EXPECT_GE(v, 0);
+  EXPECT_LT(v, 64);
+}
+
+// ------------------------------------------------------------------ scan ----
+
+class ScanModes : public ::testing::TestWithParam<ExecMode> {};
+
+TEST_P(ScanModes, MatchesSerialExclusiveScan) {
+  Device dev({.mode = GetParam(), .num_threads = 4});
+  for (std::size_t n : {0u, 1u, 2u, 7u, 64u, 1000u, 4097u}) {
+    std::vector<std::int64_t> in(n);
+    for (std::size_t i = 0; i < n; ++i)
+      in[i] = static_cast<std::int64_t>((i * 2654435761u) % 17);
+    std::vector<std::int64_t> expect(n, 0);
+    std::int64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      expect[i] = acc;
+      acc += in[i];
+    }
+    std::vector<std::int64_t> out(n);
+    const std::int64_t total = exclusive_scan(dev, in, out);
+    EXPECT_EQ(total, acc) << "n=" << n;
+    EXPECT_EQ(out, expect) << "n=" << n;
+  }
+}
+
+TEST_P(ScanModes, InPlaceAliasing) {
+  Device dev({.mode = GetParam(), .num_threads = 4});
+  std::vector<std::int64_t> data{3, 1, 4, 1, 5};
+  const std::int64_t total = exclusive_scan(dev, data, data);
+  EXPECT_EQ(total, 14);
+  EXPECT_EQ(data, (std::vector<std::int64_t>{0, 3, 4, 8, 9}));
+}
+
+TEST_P(ScanModes, ReduceSumMatchesAccumulate) {
+  Device dev({.mode = GetParam(), .num_threads = 4});
+  std::vector<std::int64_t> in(999);
+  for (std::size_t i = 0; i < in.size(); ++i)
+    in[i] = static_cast<std::int64_t>(i % 13) - 6;
+  EXPECT_EQ(reduce_sum(dev, in),
+            std::accumulate(in.begin(), in.end(), std::int64_t{0}));
+  EXPECT_EQ(reduce_sum(dev, std::vector<std::int64_t>{}), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, ScanModes,
+                         ::testing::Values(ExecMode::kSequential,
+                                           ExecMode::kConcurrent),
+                         [](const auto& param_info) {
+                           return param_info.param == ExecMode::kSequential
+                                      ? "Sequential"
+                                      : "Concurrent";
+                         });
+
+TEST(Scan, SizeMismatchThrows) {
+  Device dev({.mode = ExecMode::kSequential});
+  std::vector<std::int64_t> in{1, 2};
+  std::vector<std::int64_t> out(3);
+  EXPECT_THROW(exclusive_scan(dev, in, out), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bpm::device

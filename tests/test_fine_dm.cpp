@@ -1,0 +1,140 @@
+// Tests for the fine Dulmage–Mendelsohn stage (block-triangular form):
+// SCCs of the square block in a valid BTF order.
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "matching/dulmage_mendelsohn.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "util/rng.hpp"
+
+namespace bpm::matching {
+namespace {
+
+using graph::BipartiteGraph;
+using graph::Edge;
+using graph::build_from_edges;
+using graph::index_t;
+namespace gen = graph::gen;
+
+struct Decomposed {
+  Matching m;
+  DulmageMendelsohn dm;
+  FineDecomposition fine;
+};
+
+Decomposed decompose(const BipartiteGraph& g) {
+  Decomposed d;
+  d.m = hopcroft_karp(g, Matching(g));
+  d.dm = dulmage_mendelsohn(g, d.m);
+  d.fine = fine_decomposition(g, d.m, d.dm);
+  return d;
+}
+
+TEST(FineDm, DiagonalMatrixIsFullyReducible) {
+  // Identity structure: every pair is its own 1x1 block.
+  std::vector<Edge> edges;
+  for (index_t i = 0; i < 6; ++i) edges.push_back({i, i});
+  const Decomposed d = decompose(build_from_edges(6, 6, edges));
+  EXPECT_EQ(d.fine.num_blocks, 6);
+  EXPECT_FALSE(d.fine.is_irreducible());
+}
+
+TEST(FineDm, FullCycleIsIrreducible) {
+  // Pair digraph is one big cycle: diagonal + superdiagonal entries.
+  std::vector<Edge> edges;
+  for (index_t i = 0; i < 6; ++i) {
+    edges.push_back({i, i});
+    edges.push_back({i, (i + 1) % 6});
+  }
+  const Decomposed d = decompose(build_from_edges(6, 6, edges));
+  EXPECT_EQ(d.fine.num_blocks, 1);
+  EXPECT_TRUE(d.fine.is_irreducible());
+}
+
+TEST(FineDm, LowerTriangularSplitsIntoSingletons) {
+  // Entries (i, j) for j <= i: BTF of a triangular matrix is n 1x1
+  // blocks.
+  std::vector<Edge> edges;
+  for (index_t i = 0; i < 5; ++i)
+    for (index_t j = 0; j <= i; ++j) edges.push_back({i, j});
+  const Decomposed d = decompose(build_from_edges(5, 5, edges));
+  EXPECT_EQ(d.fine.num_blocks, 5);
+}
+
+TEST(FineDm, TwoCyclesGiveTwoBlocksInTriangularOrder) {
+  // Blocks {0,1,2} (cycle) and {3,4} (cycle), with a one-way coupling
+  // entry (0, 3): arcs go block A -> block B, so BTF must number B
+  // before A (block id of row 0 > block id of row 3).
+  std::vector<Edge> edges;
+  for (index_t i = 0; i < 3; ++i) {
+    edges.push_back({i, i});
+    edges.push_back({i, (i + 1) % 3});
+  }
+  for (index_t i = 3; i < 5; ++i) {
+    edges.push_back({i, i});
+    edges.push_back({i, i == 4 ? 3 : 4});
+  }
+  edges.push_back({0, 3});  // coupling
+  const Decomposed d = decompose(build_from_edges(5, 5, edges));
+  EXPECT_EQ(d.fine.num_blocks, 2);
+  EXPECT_GT(d.fine.block_of_row[0], d.fine.block_of_row[3]);
+  EXPECT_EQ(d.fine.block_of_row[0], d.fine.block_of_row[1]);
+  EXPECT_EQ(d.fine.block_of_row[3], d.fine.block_of_row[4]);
+}
+
+TEST(FineDm, BtfOrderPropertyOnRandomSquareMatrices) {
+  // Valid block-triangular numbering: every square-block entry (u, v)
+  // satisfies block[u] >= block[col_match[v]].
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const BipartiteGraph g = gen::planted_perfect(60, 1.2, seed);
+    const Decomposed d = decompose(g);
+    ASSERT_TRUE(d.dm.is_square_only());
+    for (index_t u = 0; u < g.num_rows(); ++u) {
+      for (index_t v : g.row_neighbors(u)) {
+        const index_t w = d.m.col_match[static_cast<std::size_t>(v)];
+        EXPECT_GE(d.fine.block_of_row[static_cast<std::size_t>(u)],
+                  d.fine.block_of_row[static_cast<std::size_t>(w)])
+            << "entry (" << u << "," << v << ") violates BTF, seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(FineDm, BlocksPartitionTheSquareRows) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const BipartiteGraph g = gen::chung_lu(120, 120, 3.0, 2.4, seed);
+    const Decomposed d = decompose(g);
+    index_t square_rows_seen = 0;
+    for (index_t u = 0; u < g.num_rows(); ++u) {
+      const index_t b = d.fine.block_of_row[static_cast<std::size_t>(u)];
+      if (d.dm.row_block[static_cast<std::size_t>(u)] ==
+          DulmageMendelsohn::Block::kSquare) {
+        EXPECT_GE(b, 0);
+        EXPECT_LT(b, d.fine.num_blocks);
+        ++square_rows_seen;
+      } else {
+        EXPECT_EQ(b, -1);
+      }
+    }
+    EXPECT_EQ(square_rows_seen, d.dm.square_rows);
+  }
+}
+
+TEST(FineDm, BlockCountInvariantUnderVertexPermutation) {
+  const BipartiteGraph g = gen::planted_perfect(50, 0.8, 9);
+  const index_t base_blocks = decompose(g).fine.num_blocks;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed)
+    EXPECT_EQ(decompose(graph::permute_vertices(g, seed)).fine.num_blocks,
+              base_blocks);
+}
+
+TEST(FineDm, EmptySquareBlockYieldsZeroBlocks) {
+  const Decomposed d = decompose(gen::star(4));  // purely horizontal
+  EXPECT_EQ(d.fine.num_blocks, 0);
+  EXPECT_TRUE(d.fine.is_irreducible());  // vacuously
+}
+
+}  // namespace
+}  // namespace bpm::matching

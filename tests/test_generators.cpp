@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/instances.hpp"
+
+namespace bpm::graph {
+namespace {
+
+using namespace bpm::graph::gen;
+
+TEST(Generators, RandomUniformShapeAndDeterminism) {
+  const BipartiteGraph a = random_uniform(100, 120, 500, 7);
+  const BipartiteGraph b = random_uniform(100, 120, 500, 7);
+  EXPECT_EQ(a.num_rows(), 100);
+  EXPECT_EQ(a.num_cols(), 120);
+  EXPECT_LE(a.num_edges(), 500);       // duplicates removed
+  EXPECT_GT(a.num_edges(), 400);       // but only a few collide
+  EXPECT_EQ(a.row_adj(), b.row_adj());  // deterministic per seed
+  const BipartiteGraph c = random_uniform(100, 120, 500, 8);
+  EXPECT_NE(a.row_adj(), c.row_adj());
+}
+
+TEST(Generators, RandomUniformRejectsImpossibleEdgeCount) {
+  EXPECT_THROW(random_uniform(2, 2, 5, 1), std::invalid_argument);
+  EXPECT_THROW(random_uniform(0, 2, 0, 1), std::invalid_argument);
+}
+
+TEST(Generators, PlantedPerfectAlwaysHasPerfectMatching) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const BipartiteGraph g = planted_perfect(50, 2.0, seed);
+    EXPECT_EQ(g.num_rows(), 50);
+    EXPECT_EQ(g.num_cols(), 50);
+    // Every row has at least its planted partner.
+    for (index_t u = 0; u < g.num_rows(); ++u)
+      EXPECT_GE(g.row_degree(u), 1) << "row " << u;
+  }
+}
+
+TEST(Generators, RmatShapeAndSkew) {
+  const BipartiteGraph g = rmat(10, 8.0, 3);
+  EXPECT_EQ(g.num_rows(), 1024);
+  EXPECT_EQ(g.num_cols(), 1024);
+  EXPECT_GT(g.num_edges(), 4000);
+  // R-MAT with a=0.57 concentrates edges at low ids: the first quarter of
+  // rows must hold well over a quarter of the edges.
+  offset_t first_quarter = 0;
+  for (index_t u = 0; u < 256; ++u) first_quarter += g.row_degree(u);
+  EXPECT_GT(static_cast<double>(first_quarter),
+            0.4 * static_cast<double>(g.num_edges()));
+}
+
+TEST(Generators, RmatRejectsBadParameters) {
+  EXPECT_THROW(rmat(0, 8.0, 1), std::invalid_argument);
+  EXPECT_THROW(rmat(10, -1.0, 1), std::invalid_argument);
+  EXPECT_THROW(rmat(10, 8.0, 1, 0.5, 0.5, 0.2), std::invalid_argument);
+}
+
+TEST(Generators, ChungLuProducesSkewedDegrees) {
+  const BipartiteGraph g = chung_lu(2000, 2000, 8.0, 2.3, 11);
+  EXPECT_EQ(g.num_rows(), 2000);
+  index_t max_deg = 0;
+  index_t isolated = 0;
+  for (index_t u = 0; u < g.num_rows(); ++u) {
+    max_deg = std::max(max_deg, g.row_degree(u));
+    if (g.row_degree(u) == 0) ++isolated;
+  }
+  // Power-law: hubs far above the mean, and isolated vertices exist.
+  EXPECT_GT(max_deg, 40);
+  EXPECT_GT(isolated, 0);
+}
+
+TEST(Generators, RoadNetworkIsSymmetricAndSparse) {
+  const BipartiteGraph g = road_network(20, 20, 0.9, 5);
+  EXPECT_EQ(g.num_rows(), 400);
+  // Adjacency-matrix symmetry: (i,j) present iff (j,i) present.
+  for (index_t u = 0; u < g.num_rows(); ++u)
+    for (index_t v : g.row_neighbors(u)) EXPECT_TRUE(g.has_edge(v, u));
+  // Lattice degree bound (4 mesh + rare shortcuts).
+  for (index_t u = 0; u < g.num_rows(); ++u) EXPECT_LE(g.row_degree(u), 8);
+}
+
+TEST(Generators, DelaunayMeshDegreeNearSix) {
+  const BipartiteGraph g = delaunay_mesh(30, 30, 5);
+  EXPECT_EQ(g.num_rows(), 900);
+  const double avg = static_cast<double>(g.num_edges()) /
+                     static_cast<double>(g.num_rows());
+  EXPECT_GT(avg, 4.5);
+  EXPECT_LT(avg, 7.5);
+  for (index_t u = 0; u < g.num_rows(); ++u)
+    for (index_t v : g.row_neighbors(u)) EXPECT_TRUE(g.has_edge(v, u));
+}
+
+TEST(Generators, TraceMeshIsThinAndSymmetric) {
+  const BipartiteGraph g = trace_mesh(200, 4, 0.05, 5);
+  EXPECT_EQ(g.num_rows(), 800);
+  for (index_t u = 0; u < g.num_rows(); ++u)
+    for (index_t v : g.row_neighbors(u)) EXPECT_TRUE(g.has_edge(v, u));
+}
+
+TEST(Generators, CopaperContainsCliques) {
+  const BipartiteGraph g = copaper(500, 50, 8.0, 5);
+  EXPECT_EQ(g.num_rows(), 500);
+  EXPECT_GT(g.num_edges(), 0);
+  for (index_t u = 0; u < g.num_rows(); ++u)
+    for (index_t v : g.row_neighbors(u)) EXPECT_TRUE(g.has_edge(v, u));
+}
+
+TEST(Generators, CompleteBipartite) {
+  const BipartiteGraph g = complete_bipartite(3, 4);
+  EXPECT_EQ(g.num_edges(), 12);
+  for (index_t u = 0; u < 3; ++u) EXPECT_EQ(g.row_degree(u), 4);
+}
+
+TEST(Generators, EmptyGraph) {
+  const BipartiteGraph g = empty_graph(5, 7);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.num_rows(), 5);
+  EXPECT_EQ(g.num_cols(), 7);
+}
+
+TEST(Generators, StarShape) {
+  const BipartiteGraph g = star(6);
+  EXPECT_EQ(g.num_rows(), 1);
+  EXPECT_EQ(g.num_cols(), 6);
+  EXPECT_EQ(g.row_degree(0), 6);
+}
+
+TEST(Generators, ChainShape) {
+  const BipartiteGraph g = chain(5);
+  EXPECT_EQ(g.num_rows(), 5);
+  EXPECT_EQ(g.num_cols(), 5);
+  EXPECT_EQ(g.num_edges(), 9);
+  // Endpoints have degree 1, middle vertices degree 2.
+  EXPECT_EQ(g.col_degree(4), 1);
+  EXPECT_EQ(g.row_degree(0), 1);
+  EXPECT_EQ(g.row_degree(2), 2);
+}
+
+// ------------------------------------------------------------ instances ----
+
+TEST(Instances, RegistryHas28EntriesInTableOrder) {
+  const auto& all = paper_instances();
+  ASSERT_EQ(all.size(), 28u);
+  EXPECT_EQ(all.front().name, "amazon0505");
+  EXPECT_EQ(all.back().name, "hugebubbles-00000");
+  for (std::size_t i = 0; i < all.size(); ++i)
+    EXPECT_EQ(all[i].id, static_cast<int>(i) + 1);
+  // Table I is ordered by increasing #rows.
+  for (std::size_t i = 1; i < all.size(); ++i)
+    EXPECT_LE(all[i - 1].paper.rows, all[i].paper.rows);
+}
+
+TEST(Instances, PaperNumbersMatchKnownGeomeans) {
+  // Bottom row of Table I: geometric means 0.70 / 0.92 / 1.99 / 2.15.
+  const auto& all = paper_instances();
+  double lg_gpr = 0, lg_hkdw = 0, lg_pdbfs = 0, lg_pr = 0;
+  for (const auto& inst : all) {
+    lg_gpr += std::log(inst.paper.g_pr_s);
+    lg_hkdw += std::log(inst.paper.g_hkdw_s);
+    lg_pdbfs += std::log(inst.paper.p_dbfs_s);
+    lg_pr += std::log(inst.paper.pr_s);
+  }
+  const double n = 28.0;
+  EXPECT_NEAR(std::exp(lg_gpr / n), 0.70, 0.02);
+  EXPECT_NEAR(std::exp(lg_hkdw / n), 0.92, 0.02);
+  EXPECT_NEAR(std::exp(lg_pdbfs / n), 1.99, 0.02);
+  EXPECT_NEAR(std::exp(lg_pr / n), 2.15, 0.02);
+}
+
+TEST(Instances, BuildProducesNonTrivialGraphs) {
+  for (const auto& inst : select_instances(9)) {  // ids 1, 10, 19, 28
+    const BipartiteGraph g = inst.build(0.002, 1);
+    EXPECT_GE(g.num_rows(), 1024) << inst.name;
+    EXPECT_GT(g.num_edges(), 0) << inst.name;
+  }
+}
+
+TEST(Instances, BuildIsDeterministic) {
+  const auto& inst = paper_instances()[0];
+  const BipartiteGraph a = inst.build(0.002, 42);
+  const BipartiteGraph b = inst.build(0.002, 42);
+  EXPECT_EQ(a.row_adj(), b.row_adj());
+}
+
+TEST(Instances, BuildRejectsNonPositiveScale) {
+  EXPECT_THROW(paper_instances()[0].build(0.0, 1), std::invalid_argument);
+}
+
+TEST(Instances, StrideSelection) {
+  EXPECT_EQ(select_instances(1).size(), 28u);
+  EXPECT_EQ(select_instances(2).size(), 14u);
+  EXPECT_EQ(select_instances(28).size(), 1u);
+  EXPECT_THROW(select_instances(0), std::invalid_argument);
+}
+
+TEST(Instances, ClassNamesResolve) {
+  for (const auto& inst : paper_instances())
+    EXPECT_STRNE(to_string(inst.cls), "unknown") << inst.name;
+}
+
+}  // namespace
+}  // namespace bpm::graph

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "graph/bipartite_graph.hpp"
+#include "graph/builder.hpp"
+
+namespace bpm::graph {
+namespace {
+
+TEST(Builder, BuildsBothCsrDirections) {
+  // 2 rows, 3 cols: edges (0,0) (0,2) (1,1).
+  const std::vector<Edge> edges{{0, 0}, {0, 2}, {1, 1}};
+  const BipartiteGraph g = build_from_edges(2, 3, edges);
+  EXPECT_EQ(g.num_rows(), 2);
+  EXPECT_EQ(g.num_cols(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+
+  ASSERT_EQ(g.row_neighbors(0).size(), 2u);
+  EXPECT_EQ(g.row_neighbors(0)[0], 0);
+  EXPECT_EQ(g.row_neighbors(0)[1], 2);
+  ASSERT_EQ(g.col_neighbors(1).size(), 1u);
+  EXPECT_EQ(g.col_neighbors(1)[0], 1);
+  EXPECT_EQ(g.col_neighbors(2)[0], 0);
+}
+
+TEST(Builder, RemovesDuplicateEdges) {
+  const std::vector<Edge> edges{{0, 0}, {0, 0}, {0, 0}, {1, 1}};
+  const BipartiteGraph g = build_from_edges(2, 2, edges);
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(Builder, SortsAdjacency) {
+  const std::vector<Edge> edges{{0, 3}, {0, 1}, {0, 2}, {0, 0}};
+  const BipartiteGraph g = build_from_edges(1, 4, edges);
+  const auto nbrs = g.row_neighbors(0);
+  for (std::size_t i = 1; i < nbrs.size(); ++i) EXPECT_LT(nbrs[i - 1], nbrs[i]);
+}
+
+TEST(Builder, RejectsOutOfRangeEndpoints) {
+  EXPECT_THROW(build_from_edges(2, 2, std::vector<Edge>{{2, 0}}),
+               std::invalid_argument);
+  EXPECT_THROW(build_from_edges(2, 2, std::vector<Edge>{{0, -1}}),
+               std::invalid_argument);
+}
+
+TEST(Builder, EmptyGraphIsFine) {
+  const BipartiteGraph g = build_from_edges(0, 0, std::vector<Edge>{});
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.psi_infinity(), 0);
+}
+
+TEST(Builder, IsolatedVerticesKeepEmptyAdjacency) {
+  const BipartiteGraph g = build_from_edges(3, 3, std::vector<Edge>{{1, 1}});
+  EXPECT_TRUE(g.row_neighbors(0).empty());
+  EXPECT_TRUE(g.row_neighbors(2).empty());
+  EXPECT_EQ(g.row_neighbors(1).size(), 1u);
+}
+
+TEST(Graph, HasEdge) {
+  const BipartiteGraph g =
+      build_from_edges(2, 2, std::vector<Edge>{{0, 1}, {1, 0}});
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 0));
+  EXPECT_FALSE(g.has_edge(-1, 0));
+  EXPECT_FALSE(g.has_edge(0, 5));
+}
+
+TEST(Graph, PsiInfinityIsMPlusN) {
+  const BipartiteGraph g = build_from_edges(3, 5, std::vector<Edge>{{0, 0}});
+  EXPECT_EQ(g.psi_infinity(), 8);
+}
+
+TEST(Graph, DegreeAccessors) {
+  const BipartiteGraph g =
+      build_from_edges(2, 2, std::vector<Edge>{{0, 0}, {0, 1}, {1, 1}});
+  EXPECT_EQ(g.row_degree(0), 2);
+  EXPECT_EQ(g.row_degree(1), 1);
+  EXPECT_EQ(g.col_degree(0), 1);
+  EXPECT_EQ(g.col_degree(1), 2);
+}
+
+TEST(Graph, ValidateRejectsInconsistentCsr) {
+  // Mismatched edge counts between the two directions.
+  EXPECT_THROW(BipartiteGraph(1, 1, {0, 1}, {0}, {0, 0}, {}),
+               std::invalid_argument);
+}
+
+TEST(Graph, DescribeMentionsShape) {
+  const BipartiteGraph g = build_from_edges(2, 3, std::vector<Edge>{{0, 0}});
+  const std::string d = g.describe();
+  EXPECT_NE(d.find("2 rows"), std::string::npos);
+  EXPECT_NE(d.find("3 cols"), std::string::npos);
+}
+
+TEST(Permute, PreservesShapeAndDegreeMultiset) {
+  const std::vector<Edge> edges{{0, 0}, {0, 1}, {1, 1}, {2, 2}, {2, 0}};
+  const BipartiteGraph g = build_from_edges(3, 3, edges);
+  const BipartiteGraph p = permute_vertices(g, 99);
+  EXPECT_EQ(p.num_rows(), g.num_rows());
+  EXPECT_EQ(p.num_cols(), g.num_cols());
+  EXPECT_EQ(p.num_edges(), g.num_edges());
+
+  auto degree_multiset = [](const BipartiteGraph& x) {
+    std::vector<index_t> d;
+    for (index_t u = 0; u < x.num_rows(); ++u) d.push_back(x.row_degree(u));
+    std::sort(d.begin(), d.end());
+    return d;
+  };
+  EXPECT_EQ(degree_multiset(g), degree_multiset(p));
+}
+
+TEST(Permute, DeterministicPerSeed) {
+  const std::vector<Edge> edges{{0, 0}, {1, 1}, {2, 2}, {0, 2}};
+  const BipartiteGraph g = build_from_edges(3, 3, edges);
+  const BipartiteGraph a = permute_vertices(g, 7);
+  const BipartiteGraph b = permute_vertices(g, 7);
+  EXPECT_EQ(a.row_adj(), b.row_adj());
+  EXPECT_EQ(a.row_ptr(), b.row_ptr());
+}
+
+}  // namespace
+}  // namespace bpm::graph

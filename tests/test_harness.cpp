@@ -1,0 +1,112 @@
+// Tests of the benchmark harness itself (bench/harness_common):
+// instance building, ground-truth computation, per-algorithm runners and
+// their embedded verification — the machinery every reported number in
+// EXPERIMENTS.md passes through.
+
+#include <gtest/gtest.h>
+
+#include "harness_common.hpp"
+#include "matching/verify.hpp"
+
+namespace bpm::bench {
+namespace {
+
+SuiteOptions tiny_options() {
+  SuiteOptions opt;
+  opt.scale = 0.001;  // ~1k-vertex instances
+  opt.seed = 5;
+  return opt;
+}
+
+TEST(Harness, BuildInstanceComputesConsistentGroundTruth) {
+  const auto& meta = graph::paper_instances()[0];
+  const BuiltInstance bi = build_instance(meta, tiny_options());
+  EXPECT_GE(bi.g.num_rows(), 1024);
+  EXPECT_EQ(bi.initial_cardinality, bi.init.cardinality());
+  EXPECT_LE(bi.initial_cardinality, bi.maximum_cardinality);
+  // The HK-based ground truth must agree with the independent reference.
+  EXPECT_EQ(bi.maximum_cardinality,
+            matching::reference_maximum_cardinality(bi.g));
+}
+
+TEST(Harness, BuildSuiteHonoursStride) {
+  SuiteOptions opt = tiny_options();
+  opt.stride = 14;
+  const auto suite = build_suite(opt);
+  ASSERT_EQ(suite.size(), 2u);
+  EXPECT_EQ(suite[0].meta.id, 1);
+  EXPECT_EQ(suite[1].meta.id, 15);
+}
+
+TEST(Harness, RunnersReportOkAndConsistentCardinalities) {
+  const auto& meta = graph::paper_instances()[3];  // flickr analogue
+  const BuiltInstance bi = build_instance(meta, tiny_options());
+  device::Device dev({.mode = device::ExecMode::kConcurrent, .num_threads = 4});
+
+  const AlgoResult gpr = run_g_pr(dev, bi, gpu::GprOptions{});
+  const AlgoResult ghkdw = run_g_hkdw(dev, bi);
+  const AlgoResult pdbfs = run_p_dbfs(bi, 4);
+  const AlgoResult pr = run_seq_pr(bi);
+
+  for (const AlgoResult& r : {gpr, ghkdw, pdbfs, pr}) {
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.cardinality, bi.maximum_cardinality);
+    EXPECT_GE(r.seconds, 0.0);
+  }
+  // Device algorithms carry a modeled time; CPU ones do not.
+  EXPECT_GT(gpr.modeled_seconds, 0.0);
+  EXPECT_GT(ghkdw.modeled_seconds, 0.0);
+  EXPECT_EQ(pdbfs.modeled_seconds, 0.0);
+  EXPECT_EQ(pr.modeled_seconds, 0.0);
+}
+
+TEST(Harness, DeviceSecondsRespectsNoModel) {
+  AlgoResult r;
+  r.seconds = 2.0;
+  r.modeled_seconds = 0.5;
+  SuiteOptions opt;
+  opt.no_model = false;
+  EXPECT_DOUBLE_EQ(device_seconds(r, opt), 0.5);
+  opt.no_model = true;
+  EXPECT_DOUBLE_EQ(device_seconds(r, opt), 2.0);
+  // CPU algorithms (modeled == 0) always use wall time.
+  r.modeled_seconds = 0.0;
+  opt.no_model = false;
+  EXPECT_DOUBLE_EQ(device_seconds(r, opt), 2.0);
+}
+
+TEST(Harness, SuiteOptionsRoundTripThroughCli) {
+  CliParser cli("t", "t");
+  register_suite_flags(cli, /*default_stride=*/3);
+  const char* argv[] = {"t", "--scale", "0.5", "--seed", "9", "--threads",
+                        "2", "--no-model"};
+  cli.parse(8, argv);
+  const SuiteOptions opt = suite_options_from_cli(cli);
+  EXPECT_DOUBLE_EQ(opt.scale, 0.5);
+  EXPECT_EQ(opt.seed, 9u);
+  EXPECT_EQ(opt.stride, 3);
+  EXPECT_EQ(opt.threads, 2u);
+  EXPECT_TRUE(opt.no_model);
+}
+
+TEST(Harness, ModeledTimeScalesWithInstanceSize) {
+  // The device model must charge more for a bigger instance of the same
+  // class — a basic sanity property of the time model.
+  SuiteOptions small = tiny_options();
+  SuiteOptions large = tiny_options();
+  large.scale = 0.004;
+  const auto& meta = graph::paper_instances()[6];  // kron analogue
+  const BuiltInstance bi_small = build_instance(meta, small);
+  const BuiltInstance bi_large = build_instance(meta, large);
+  // Sequential device: deterministic loop counts, so the comparison is
+  // not subject to race-dependent variance.
+  device::Device dev({.mode = device::ExecMode::kSequential});
+  const AlgoResult r_small = run_g_pr(dev, bi_small, gpu::GprOptions{});
+  const AlgoResult r_large = run_g_pr(dev, bi_large, gpu::GprOptions{});
+  EXPECT_TRUE(r_small.ok);
+  EXPECT_TRUE(r_large.ok);
+  EXPECT_GT(r_large.modeled_seconds, r_small.modeled_seconds);
+}
+
+}  // namespace
+}  // namespace bpm::bench

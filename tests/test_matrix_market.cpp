@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/builder.hpp"
+#include "graph/matrix_market.hpp"
+
+namespace bpm::graph {
+namespace {
+
+TEST(MatrixMarket, ReadsPatternGeneral) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "% a comment\n"
+      "3 4 3\n"
+      "1 1\n"
+      "2 3\n"
+      "3 4\n");
+  const BipartiteGraph g = read_matrix_market(in);
+  EXPECT_EQ(g.num_rows(), 3);
+  EXPECT_EQ(g.num_cols(), 4);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_TRUE(g.has_edge(0, 0));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(2, 3));
+}
+
+TEST(MatrixMarket, ReadsRealValuesIgnoringMagnitudes) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 2 3.5\n"
+      "2 1 -0.25e2\n");
+  const BipartiteGraph g = read_matrix_market(in);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+}
+
+TEST(MatrixMarket, ReadsIntegerAndComplexFields) {
+  std::istringstream in_int(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "1 1 1\n"
+      "1 1 7\n");
+  EXPECT_EQ(read_matrix_market(in_int).num_edges(), 1);
+
+  std::istringstream in_cplx(
+      "%%MatrixMarket matrix coordinate complex general\n"
+      "1 1 1\n"
+      "1 1 1.0 -2.0\n");
+  EXPECT_EQ(read_matrix_market(in_cplx).num_edges(), 1);
+}
+
+TEST(MatrixMarket, SymmetricMirrorsOffDiagonal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "3 3 2\n"
+      "2 1\n"
+      "3 3\n");
+  const BipartiteGraph g = read_matrix_market(in);
+  // (2,1) mirrors to (1,2); (3,3) is diagonal, no mirror.
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 2));
+}
+
+TEST(MatrixMarket, RejectsMalformedHeader) {
+  std::istringstream in("%%NotMatrixMarket whatever\n1 1 0\n");
+  EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsArrayFormat) {
+  std::istringstream in("%%MatrixMarket matrix array real general\n1 1\n1.0\n");
+  EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsOutOfBoundsEntry) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 1\n"
+      "3 1\n");
+  EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsTruncatedFile) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 1\n");
+  EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsMissingValueInRealFile) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "1 1 1\n"
+      "1 1\n");
+  EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarket, WriteReadRoundTrip) {
+  const std::vector<Edge> edges{{0, 0}, {0, 2}, {1, 1}, {2, 0}};
+  const BipartiteGraph g = build_from_edges(3, 3, edges);
+  std::stringstream buffer;
+  write_matrix_market(buffer, g);
+  const BipartiteGraph h = read_matrix_market(buffer);
+  EXPECT_EQ(h.num_rows(), g.num_rows());
+  EXPECT_EQ(h.num_cols(), g.num_cols());
+  EXPECT_EQ(h.row_ptr(), g.row_ptr());
+  EXPECT_EQ(h.row_adj(), g.row_adj());
+  EXPECT_EQ(h.col_ptr(), g.col_ptr());
+  EXPECT_EQ(h.col_adj(), g.col_adj());
+}
+
+TEST(MatrixMarket, FileNotFoundThrows) {
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/path.mtx"),
+               std::runtime_error);
+}
+
+TEST(MatrixMarket, CaseInsensitiveHeader) {
+  std::istringstream in(
+      "%%MatrixMarket MATRIX Coordinate Pattern General\n"
+      "1 1 1\n"
+      "1 1\n");
+  EXPECT_EQ(read_matrix_market(in).num_edges(), 1);
+}
+
+}  // namespace
+}  // namespace bpm::graph

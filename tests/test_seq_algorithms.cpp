@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "matching/greedy.hpp"
+#include "matching/hkdw.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/matching.hpp"
+#include "matching/pothen_fan.hpp"
+#include "matching/seq_pr.hpp"
+#include "matching/verify.hpp"
+
+namespace bpm::matching {
+namespace {
+
+using graph::BipartiteGraph;
+using graph::index_t;
+namespace gen = graph::gen;
+
+// All sequential solvers share a signature for table-driven tests.
+using Solver = Matching (*)(const BipartiteGraph&, Matching);
+
+Matching solve_pr(const BipartiteGraph& g, Matching init) {
+  return seq_push_relabel(g, std::move(init));
+}
+Matching solve_pr_nogap(const BipartiteGraph& g, Matching init) {
+  return seq_push_relabel(g, std::move(init), {.gap_relabeling = false});
+}
+Matching solve_pr_coldstart(const BipartiteGraph& g, Matching init) {
+  return seq_push_relabel(g, std::move(init),
+                          {.initial_global_relabel = false});
+}
+Matching solve_hk(const BipartiteGraph& g, Matching init) {
+  return hopcroft_karp(g, std::move(init));
+}
+Matching solve_pf(const BipartiteGraph& g, Matching init) {
+  return pothen_fan(g, std::move(init));
+}
+Matching solve_hkdw(const BipartiteGraph& g, Matching init) {
+  return hkdw(g, std::move(init));
+}
+
+struct NamedSolver {
+  const char* name;
+  Solver solve;
+};
+
+class SeqSolvers : public ::testing::TestWithParam<NamedSolver> {
+ protected:
+  // Runs the solver from both an empty and a greedy start and checks the
+  // result against the independent reference.
+  void check(const BipartiteGraph& g) {
+    const index_t want = reference_maximum_cardinality(g);
+    for (const bool greedy_start : {false, true}) {
+      Matching init = greedy_start ? cheap_matching(g) : Matching(g);
+      const Matching m = GetParam().solve(g, std::move(init));
+      ASSERT_TRUE(m.is_valid(g)) << m.first_violation(g);
+      EXPECT_EQ(m.cardinality(), want)
+          << GetParam().name << (greedy_start ? " greedy" : " empty");
+      EXPECT_TRUE(is_maximum(g, m));
+    }
+  }
+};
+
+TEST_P(SeqSolvers, EmptyGraph) { check(gen::empty_graph(5, 7)); }
+
+TEST_P(SeqSolvers, SingleEdge) {
+  check(graph::build_from_edges(1, 1, std::vector<graph::Edge>{{0, 0}}));
+}
+
+TEST_P(SeqSolvers, Star) { check(gen::star(8)); }
+
+TEST_P(SeqSolvers, CompleteSquare) { check(gen::complete_bipartite(6, 6)); }
+
+TEST_P(SeqSolvers, CompleteRectangular) {
+  check(gen::complete_bipartite(3, 9));
+  check(gen::complete_bipartite(9, 3));
+}
+
+TEST_P(SeqSolvers, ChainsExerciseLongAugmentingPaths) {
+  check(gen::chain(1));
+  check(gen::chain(2));
+  check(gen::chain(17));
+  check(gen::chain(128));
+}
+
+TEST_P(SeqSolvers, PlantedPerfectIsFullyMatched) {
+  const BipartiteGraph g = gen::planted_perfect(64, 1.0, 5);
+  const Matching m = GetParam().solve(g, Matching(g));
+  EXPECT_EQ(m.cardinality(), 64);
+}
+
+TEST_P(SeqSolvers, RandomSparse) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed)
+    check(gen::random_uniform(60, 60, 150, seed));
+}
+
+TEST_P(SeqSolvers, RandomRectangular) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    check(gen::random_uniform(40, 90, 200, seed));
+    check(gen::random_uniform(90, 40, 200, seed));
+  }
+}
+
+TEST_P(SeqSolvers, PowerLawWithIsolatedVertices) {
+  check(gen::chung_lu(300, 300, 3.0, 2.4, 9));
+}
+
+TEST_P(SeqSolvers, RoadLattice) { check(gen::road_network(12, 12, 0.85, 2)); }
+
+TEST_P(SeqSolvers, TraceStrip) { check(gen::trace_mesh(64, 3, 0.05, 2)); }
+
+INSTANTIATE_TEST_SUITE_P(
+    All, SeqSolvers,
+    ::testing::Values(NamedSolver{"seq_pr", solve_pr},
+                      NamedSolver{"seq_pr_nogap", solve_pr_nogap},
+                      NamedSolver{"seq_pr_coldstart", solve_pr_coldstart},
+                      NamedSolver{"hopcroft_karp", solve_hk},
+                      NamedSolver{"pothen_fan", solve_pf},
+                      NamedSolver{"hkdw", solve_hkdw}),
+    [](const auto& param_info) { return std::string(param_info.param.name); });
+
+// ------------------------------------------------------ algorithm quirks ----
+
+TEST(SeqPr, StatsAreConsistent) {
+  const BipartiteGraph g = gen::random_uniform(100, 100, 400, 3);
+  SeqPrStats stats;
+  const Matching m = seq_push_relabel(g, Matching(g), {}, &stats);
+  EXPECT_TRUE(m.is_valid(g));
+  EXPECT_GE(stats.global_relabels, 1);  // the initial one
+  EXPECT_GE(stats.pushes, m.cardinality());  // each match needed >= 1 push
+  EXPECT_GT(stats.scanned_edges, 0);
+}
+
+TEST(SeqPr, RejectsInvalidInitialMatching) {
+  const BipartiteGraph g = gen::complete_bipartite(2, 2);
+  Matching bad(g);
+  bad.row_match[0] = 1;  // one-sided
+  EXPECT_THROW(seq_push_relabel(g, bad), std::invalid_argument);
+}
+
+TEST(SeqPr, GlobalRelabelFrequencySweepAllReachMaximum) {
+  const BipartiteGraph g = gen::chung_lu(200, 200, 4.0, 2.5, 4);
+  const index_t want = reference_maximum_cardinality(g);
+  for (const double k : {0.05, 0.25, 0.5, 1.0, 4.0}) {
+    const Matching m =
+        seq_push_relabel(g, cheap_matching(g), {.global_relabel_k = k});
+    EXPECT_EQ(m.cardinality(), want) << "k=" << k;
+  }
+}
+
+TEST(SeqPr, GapRelabelingRetiresColumns) {
+  // Power-law graphs leave unmatchable columns; the gap heuristic should
+  // retire at least some of them before the scan proves it.
+  const BipartiteGraph g = gen::chung_lu(400, 400, 2.5, 2.3, 8);
+  SeqPrStats with_gap;
+  (void)seq_push_relabel(g, cheap_matching(g), {.gap_relabeling = true},
+                         &with_gap);
+  SeqPrStats no_gap;
+  (void)seq_push_relabel(g, cheap_matching(g), {.gap_relabeling = false},
+                         &no_gap);
+  EXPECT_EQ(no_gap.gap_retired, 0);
+  EXPECT_GE(with_gap.gap_retired, 0);  // may be zero on easy instances
+}
+
+TEST(HopcroftKarp, PhaseCountIsLogarithmicIsh) {
+  // HK guarantees O(sqrt(V)) phases; on a 256-vertex random graph the
+  // count must be far below the augmenting-path count.
+  const BipartiteGraph g = gen::random_uniform(256, 256, 1500, 5);
+  HkStats stats;
+  const Matching m = hopcroft_karp(g, Matching(g), &stats);
+  EXPECT_GT(stats.augmentations, 0);
+  EXPECT_LE(stats.phases, 40);
+  EXPECT_EQ(m.cardinality(), reference_maximum_cardinality(g));
+}
+
+TEST(Hkdw, ExtraPassShortensPhases) {
+  const BipartiteGraph g = gen::chung_lu(500, 500, 5.0, 2.5, 6);
+  HkStats hk_stats;
+  (void)hopcroft_karp(g, Matching(g), &hk_stats);
+  HkdwStats dw_stats;
+  (void)hkdw(g, Matching(g), &dw_stats);
+  EXPECT_LE(dw_stats.phases, hk_stats.phases);
+  EXPECT_GT(dw_stats.dw_augmentations, 0);
+}
+
+TEST(PothenFan, LookaheadFindsDirectEndpoints) {
+  PfStats stats;
+  const Matching m = pothen_fan(gen::complete_bipartite(30, 30), Matching(
+      gen::complete_bipartite(30, 30)), &stats);
+  EXPECT_EQ(m.cardinality(), 30);
+  EXPECT_GE(stats.augmentations, 30);
+}
+
+}  // namespace
+}  // namespace bpm::matching
