@@ -13,6 +13,7 @@
 #include <iostream>
 #include <vector>
 
+#include "core/g_pr.hpp"
 #include "harness_common.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"

@@ -34,9 +34,9 @@ int main(int argc, char** argv) {
   for (const auto& bi : suite) {
     const std::string cls = graph::to_string(bi.meta.cls);
     for (const bool initial : {true, false}) {
-      gpu::GprOptions gpr;
-      gpr.initial_global_relabel = initial;
-      const AlgoResult r = run_g_pr(dev, bi, gpr);
+      const auto solver = SolverRegistry::instance().create("g-pr-shr");
+      solver->set_option("initial-gr", initial ? "1" : "0");
+      const AlgoResult r = run_solver(*solver, dev, bi);
       all_ok &= r.ok;
       const double t = device_seconds(r, opt);
       (initial ? with_gr : without_gr)[cls].push_back(t);

@@ -94,8 +94,8 @@ int main(int argc, char** argv) {
     device::Device seq_dev({.mode = device::ExecMode::kSequential});
     device::Device conc_dev({.mode = device::ExecMode::kConcurrent,
                              .num_threads = opt.threads});
-    const AlgoResult rs = run_g_pr(seq_dev, bi, gpu::GprOptions{});
-    const AlgoResult rc = run_g_pr(conc_dev, bi, gpu::GprOptions{});
+    const AlgoResult rs = run_solver("g-pr-shr", seq_dev, bi);
+    const AlgoResult rc = run_solver("g-pr-shr", conc_dev, bi);
     all_ok &= rs.ok && rc.ok;
     seq_times.push_back(rs.seconds);
     conc_times.push_back(rc.seconds);

@@ -8,6 +8,7 @@
 #include <limits>
 #include <vector>
 
+#include "core/g_pr.hpp"
 #include "harness_common.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"

@@ -21,8 +21,8 @@ using namespace bpm;
 using namespace bpm::bench;
 
 struct Strategy {
-  gpu::RelabelStrategy strategy;
-  double k;
+  std::string strategy;  ///< solver option value: "adaptive" | "fix"
+  std::string k;
   std::string label;
 };
 
@@ -37,19 +37,14 @@ int main(int argc, char** argv) {
   SuiteOptions opt = suite_options_from_cli(cli);
 
   const std::vector<Strategy> strategies = {
-      {gpu::RelabelStrategy::kAdaptive, 0.3, "adaptive,0.3"},
-      {gpu::RelabelStrategy::kAdaptive, 0.7, "adaptive,0.7"},
-      {gpu::RelabelStrategy::kAdaptive, 1.0, "adaptive,1"},
-      {gpu::RelabelStrategy::kAdaptive, 1.5, "adaptive,1.5"},
-      {gpu::RelabelStrategy::kAdaptive, 2.0, "adaptive,2"},
-      {gpu::RelabelStrategy::kFixed, 10.0, "fix,10"},
-      {gpu::RelabelStrategy::kFixed, 50.0, "fix,50"},
+      {"adaptive", "0.3", "adaptive,0.3"}, {"adaptive", "0.7", "adaptive,0.7"},
+      {"adaptive", "1.0", "adaptive,1"},   {"adaptive", "1.5", "adaptive,1.5"},
+      {"adaptive", "2.0", "adaptive,2"},   {"fix", "10", "fix,10"},
+      {"fix", "50", "fix,50"},
   };
-  const std::vector<std::pair<gpu::GprVariant, std::string>> variants = {
-      {gpu::GprVariant::kFirst, "G-PR-First"},
-      {gpu::GprVariant::kNoShrink, "G-PR-NoShr"},
-      {gpu::GprVariant::kShrink, "G-PR-Shr"},
-  };
+  // The three G-PR variants, by their registry names.
+  const std::vector<std::string> variants = {"g-pr-first", "g-pr-noshr",
+                                             "g-pr-shr"};
 
   const auto suite = build_suite(opt);
   print_header("Figure 1 — global-relabeling strategy comparison", opt,
@@ -64,22 +59,21 @@ int main(int argc, char** argv) {
   Table modeled_table(headers, 4);
   Table wall_table(headers, 4);
 
-  for (const auto& [variant, vname] : variants) {
-    std::vector<Table::Cell> modeled_row{vname};
-    std::vector<Table::Cell> wall_row{vname};
+  for (const auto& variant : variants) {
+    std::vector<Table::Cell> modeled_row{variant};
+    std::vector<Table::Cell> wall_row{variant};
     for (const auto& s : strategies) {
+      const auto solver = SolverRegistry::instance().create(variant);
+      solver->set_option("strategy", s.strategy);
+      solver->set_option("k", s.k);
       std::vector<double> modeled, wall;
       for (const auto& bi : suite) {
-        gpu::GprOptions gpr;
-        gpr.variant = variant;
-        gpr.strategy = s.strategy;
-        gpr.k = s.k;
-        const AlgoResult r = run_g_pr(dev, bi, gpr);
+        const AlgoResult r = run_solver(*solver, dev, bi);
         all_ok &= r.ok;
         modeled.push_back(r.modeled_seconds);
         wall.push_back(r.seconds);
         if (opt.verbose)
-          std::cout << "  " << vname << " (" << s.label << ") "
+          std::cout << "  " << variant << " (" << s.label << ") "
                     << bi.meta.name << ": " << r.modeled_seconds
                     << " s modeled, " << r.seconds << " s wall\n";
       }

@@ -1,12 +1,13 @@
 // Reproduces paper Figure 2: speedup profiles of the parallel algorithms
-// (G-PR, G-HKDW, P-DBFS) relative to sequential PR.  A point (x, y) means:
-// with probability y, the algorithm achieves speedup at least x over PR on
-// a random instance of the suite.
+// (default G-PR, G-HKDW, P-DBFS; any --algo set works) relative to
+// sequential PR.  A point (x, y) means: with probability y, the algorithm
+// achieves speedup at least x over PR on a random instance of the suite.
 //
 // Paper shape: G-PR dominates — P(speedup >= 5) is 39% for G-PR vs 21%
 // (G-HKDW) and 14% (P-DBFS); G-PR beats PR on 82% of graphs.
 
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "harness_common.hpp"
@@ -18,9 +19,10 @@ int main(int argc, char** argv) {
   using namespace bpm::bench;
 
   CliParser cli("fig2_speedup_profiles",
-                "Figure 2: speedup profiles of G-PR, G-HKDW, P-DBFS vs "
+                "Figure 2: speedup profiles of the selected solvers vs "
                 "sequential PR");
-  register_suite_flags(cli);
+  register_suite_flags(cli, /*default_stride=*/1,
+                       /*default_algos=*/"g-pr-shr,g-hkdw,p-dbfs");
   cli.parse(argc, argv);
   const SuiteOptions opt = suite_options_from_cli(cli);
 
@@ -30,35 +32,41 @@ int main(int argc, char** argv) {
 
   device::Device dev(
       {.mode = device::ExecMode::kConcurrent, .num_threads = opt.threads});
+  const auto baseline = SolverRegistry::instance().create("seq-pr");
+  std::vector<std::unique_ptr<Solver>> solvers;
+  for (const auto& name : opt.algos)
+    solvers.push_back(SolverRegistry::instance().create(name));
 
   bool all_ok = true;
-  std::vector<double> spd_gpr, spd_ghkdw, spd_pdbfs;
+  std::vector<std::vector<double>> speedups(solvers.size());
   for (const auto& bi : suite) {
-    const AlgoResult pr = run_seq_pr(bi);
-    const AlgoResult gpr = run_g_pr(dev, bi, gpu::GprOptions{});
-    const AlgoResult ghkdw = run_g_hkdw(dev, bi);
-    const AlgoResult pdbfs = run_p_dbfs(bi, opt.threads);
-    all_ok &= pr.ok && gpr.ok && ghkdw.ok && pdbfs.ok;
-    spd_gpr.push_back(pr.seconds / device_seconds(gpr, opt));
-    spd_ghkdw.push_back(pr.seconds / device_seconds(ghkdw, opt));
-    spd_pdbfs.push_back(pr.seconds / pdbfs.seconds);
+    const AlgoResult pr = run_solver(*baseline, dev, bi, opt.threads);
+    all_ok &= pr.ok;
     if (opt.verbose)
-      std::cout << "  " << bi.meta.name << ": PR=" << pr.seconds
-                << "s  G-PR x" << spd_gpr.back() << "  G-HKDW x"
-                << spd_ghkdw.back() << "  P-DBFS x" << spd_pdbfs.back()
-                << '\n';
+      std::cout << "  " << bi.meta.name << ": PR=" << pr.seconds << "s";
+    for (std::size_t i = 0; i < solvers.size(); ++i) {
+      const AlgoResult r = run_solver(*solvers[i], dev, bi, opt.threads);
+      all_ok &= r.ok;
+      speedups[i].push_back(pr.seconds / device_seconds(r, opt));
+      if (opt.verbose)
+        std::cout << "  " << solvers[i]->name() << " x" << speedups[i].back();
+    }
+    if (opt.verbose) std::cout << '\n';
   }
 
   std::vector<double> xs;
   for (double x = 0.0; x <= 10.0; x += 0.5) xs.push_back(x);
 
-  Table table({"x (speedup)", "G-PR", "G-HKDW", "P-DBFS"}, 3);
-  const auto p_gpr = speedup_profile(spd_gpr, xs);
-  const auto p_ghkdw = speedup_profile(spd_ghkdw, xs);
-  const auto p_pdbfs = speedup_profile(spd_pdbfs, xs);
-  for (std::size_t i = 0; i < xs.size(); ++i)
-    table.add_row({xs[i], p_gpr[i].fraction, p_ghkdw[i].fraction,
-                   p_pdbfs[i].fraction});
+  std::vector<std::string> headers{"x (speedup)"};
+  for (const auto& s : solvers) headers.push_back(s->name());
+  Table table(std::move(headers), 3);
+  std::vector<std::vector<ProfilePoint>> profiles;
+  for (const auto& spd : speedups) profiles.push_back(speedup_profile(spd, xs));
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::vector<Table::Cell> row{xs[i]};
+    for (const auto& p : profiles) row.push_back(p[i].fraction);
+    table.add_row(std::move(row));
+  }
 
   std::cout << "\nP(speedup >= x) over the suite (paper Figure 2):\n";
   if (opt.csv)
@@ -71,10 +79,11 @@ int main(int argc, char** argv) {
       if (pt.x == x) return pt.fraction;
     return 0.0;
   };
-  std::cout << "\nKey paper numbers: P(>=5) was 0.39 / 0.21 / 0.14 and "
-               "P(>=1) for G-PR was 0.82.\n"
-            << "Measured:          P(>=5) = " << frac_at(p_gpr, 5.0) << " / "
-            << frac_at(p_ghkdw, 5.0) << " / " << frac_at(p_pdbfs, 5.0)
-            << "; P(>=1) for G-PR = " << frac_at(p_gpr, 1.0) << "\n";
+  std::cout << "\nKey paper numbers (G-PR / G-HKDW / P-DBFS): P(>=5) was "
+               "0.39 / 0.21 / 0.14 and P(>=1) for G-PR was 0.82.\nMeasured:";
+  for (std::size_t i = 0; i < solvers.size(); ++i)
+    std::cout << "  " << solvers[i]->name() << " P(>=5)=" << frac_at(profiles[i], 5.0)
+              << " P(>=1)=" << frac_at(profiles[i], 1.0);
+  std::cout << "\n";
   return all_ok ? 0 : 1;
 }

@@ -1,12 +1,13 @@
 // Reproduces paper Figure 3: performance profiles (Dolan–Moré) of the
-// parallel algorithms.  A point (x, y) means: with probability y, the
-// algorithm is at most x times slower than the best algorithm on a random
-// suite instance.
+// parallel algorithms (default G-PR, G-HKDW, P-DBFS; any --algo set
+// works).  A point (x, y) means: with probability y, the algorithm is at
+// most x times slower than the best algorithm on a random suite instance.
 //
 // Paper shape: clear separation with G-PR on top — within 1.5x of best on
 // 75% of cases (G-HKDW 46%, P-DBFS 14%); G-PR is outright best on 61%.
 
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "harness_common.hpp"
@@ -18,48 +19,56 @@ int main(int argc, char** argv) {
   using namespace bpm::bench;
 
   CliParser cli("fig3_performance_profiles",
-                "Figure 3: performance profiles of G-PR, G-HKDW, P-DBFS");
-  register_suite_flags(cli);
+                "Figure 3: performance profiles of the selected solvers");
+  register_suite_flags(cli, /*default_stride=*/1,
+                       /*default_algos=*/"g-pr-shr,g-hkdw,p-dbfs");
   cli.parse(argc, argv);
   const SuiteOptions opt = suite_options_from_cli(cli);
 
   const auto suite = build_suite(opt);
-  print_header("Figure 3 — performance profiles of the parallel algorithms",
+  print_header("Figure 3 — performance profiles of the selected solvers",
                opt, suite.size());
 
   device::Device dev(
       {.mode = device::ExecMode::kConcurrent, .num_threads = opt.threads});
+  std::vector<std::unique_ptr<Solver>> solvers;
+  std::vector<std::string> names;
+  for (const auto& name : opt.algos) {
+    solvers.push_back(SolverRegistry::instance().create(name));
+    names.push_back(name);
+  }
 
   bool all_ok = true;
-  const std::vector<std::string> names{"G-PR", "G-HKDW", "P-DBFS"};
-  std::vector<std::vector<double>> times(3);
-  std::size_t best_gpr = 0;
+  std::vector<std::vector<double>> times(solvers.size());
+  std::size_t first_best = 0;  // instances where the first solver is best
   for (const auto& bi : suite) {
-    const AlgoResult gpr = run_g_pr(dev, bi, gpu::GprOptions{});
-    const AlgoResult ghkdw = run_g_hkdw(dev, bi);
-    const AlgoResult pdbfs = run_p_dbfs(bi, opt.threads);
-    all_ok &= gpr.ok && ghkdw.ok && pdbfs.ok;
-    const double t_gpr = device_seconds(gpr, opt);
-    const double t_ghkdw = device_seconds(ghkdw, opt);
-    times[0].push_back(t_gpr);
-    times[1].push_back(t_ghkdw);
-    times[2].push_back(pdbfs.seconds);
-    if (t_gpr <= t_ghkdw && t_gpr <= pdbfs.seconds) ++best_gpr;
-    if (opt.verbose)
-      std::cout << "  " << bi.meta.name << ": G-PR=" << t_gpr
-                << "s G-HKDW=" << t_ghkdw << "s P-DBFS="
-                << pdbfs.seconds << "s\n";
+    double best = 0.0, first = 0.0;
+    for (std::size_t i = 0; i < solvers.size(); ++i) {
+      const AlgoResult r = run_solver(*solvers[i], dev, bi, opt.threads);
+      all_ok &= r.ok;
+      const double t = device_seconds(r, opt);
+      times[i].push_back(t);
+      if (i == 0) first = t;
+      best = i == 0 ? t : std::min(best, t);
+      if (opt.verbose)
+        std::cout << "  " << bi.meta.name << " " << names[i] << "=" << t
+                  << "s\n";
+    }
+    if (first <= best) ++first_best;
   }
 
   std::vector<double> xs;
   for (double x = 1.0; x <= 5.0; x += 0.25) xs.push_back(x);
   const auto profiles = performance_profiles(names, times, xs);
 
-  Table table({"x (times worse than best)", "G-PR", "G-HKDW", "P-DBFS"}, 3);
-  for (std::size_t i = 0; i < xs.size(); ++i)
-    table.add_row({xs[i], profiles[0].points[i].fraction,
-                   profiles[1].points[i].fraction,
-                   profiles[2].points[i].fraction});
+  std::vector<std::string> headers{"x (times worse than best)"};
+  for (const auto& n : names) headers.push_back(n);
+  Table table(std::move(headers), 3);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::vector<Table::Cell> row{xs[i]};
+    for (const auto& p : profiles) row.push_back(p.points[i].fraction);
+    table.add_row(std::move(row));
+  }
 
   std::cout << "\nP(time <= x * best) over the suite (paper Figure 3):\n";
   if (opt.csv)
@@ -72,12 +81,13 @@ int main(int argc, char** argv) {
       if (pt.x == x) return pt.fraction;
     return 0.0;
   };
-  std::cout << "\nKey paper numbers: within 1.5x of best — 0.75 / 0.46 / "
-               "0.14; G-PR outright best on 61%.\n"
-            << "Measured:          within 1.5x of best — " << frac_at(0, 1.5)
-            << " / " << frac_at(1, 1.5) << " / " << frac_at(2, 1.5)
-            << "; G-PR best on "
-            << static_cast<double>(best_gpr) /
+  std::cout << "\nKey paper numbers (G-PR / G-HKDW / P-DBFS): within 1.5x "
+               "of best — 0.75 / 0.46 / 0.14; G-PR outright best on 61%.\n"
+            << "Measured: within 1.5x of best —";
+  for (std::size_t a = 0; a < profiles.size(); ++a)
+    std::cout << " " << names[a] << "=" << frac_at(a, 1.5);
+  std::cout << "; " << names.front() << " best on "
+            << static_cast<double>(first_best) /
                    static_cast<double>(suite.size())
             << "\n";
   return all_ok ? 0 : 1;

@@ -37,8 +37,8 @@ int main(int argc, char** argv) {
   std::vector<double> speedups;
   std::size_t wins = 0;
   for (const auto& bi : suite) {
-    const AlgoResult pr = run_seq_pr(bi);
-    const AlgoResult gpr = run_g_pr(dev, bi, gpu::GprOptions{});
+    const AlgoResult pr = run_solver("seq-pr", dev, bi);
+    const AlgoResult gpr = run_solver("g-pr-shr", dev, bi);
     all_ok &= pr.ok && gpr.ok;
     const double t_gpr = device_seconds(gpr, opt);
     const double speedup = pr.seconds / t_gpr;

@@ -5,12 +5,11 @@
 
 #include "matching/greedy.hpp"
 #include "matching/hopcroft_karp.hpp"
-#include "matching/seq_pr.hpp"
-#include "util/timer.hpp"
 
 namespace bpm::bench {
 
-void register_suite_flags(CliParser& cli, int default_stride) {
+void register_suite_flags(CliParser& cli, int default_stride,
+                          const std::string& default_algos) {
   cli.add_option("scale", "instance size relative to the paper's (Table I)",
                  "0.015625");
   cli.add_option("seed", "generator seed", "1");
@@ -22,6 +21,7 @@ void register_suite_flags(CliParser& cli, int default_stride) {
   cli.add_flag("no-model",
                "report raw simulator wall time for GPU algorithms instead "
                "of modeled C2050 device time");
+  if (!default_algos.empty()) add_algo_option(cli, default_algos);
 }
 
 SuiteOptions suite_options_from_cli(const CliParser& cli) {
@@ -33,6 +33,7 @@ SuiteOptions suite_options_from_cli(const CliParser& cli) {
   opt.verbose = cli.get_flag("verbose");
   opt.csv = cli.get_flag("csv");
   opt.no_model = cli.get_flag("no-model");
+  if (cli.has("algo")) opt.algos = algos_from_cli(cli);
   return opt;
 }
 
@@ -56,50 +57,31 @@ std::vector<BuiltInstance> build_suite(const SuiteOptions& opt) {
   return out;
 }
 
-namespace {
-
-AlgoResult check(const BuiltInstance& bi, double seconds,
-                 const matching::Matching& m) {
+AlgoResult run_solver(const Solver& solver, device::Device& dev,
+                      const BuiltInstance& bi, unsigned threads) {
+  const SolveContext ctx{.device = &dev, .threads = threads};
+  const SolveResult result = solver.run(ctx, bi.g, bi.init);
   AlgoResult r;
-  r.seconds = seconds;
-  r.cardinality = m.cardinality();
-  r.ok = m.is_valid(bi.g) && r.cardinality == bi.maximum_cardinality;
+  r.seconds = result.stats.wall_ms / 1e3;
+  r.modeled_seconds = result.stats.modeled_ms / 1e3;
+  r.cardinality = result.stats.cardinality;
+  const bool maximum = solver.caps().exact
+                           ? r.cardinality == bi.maximum_cardinality
+                           : r.cardinality <= bi.maximum_cardinality;
+  r.ok = result.matching.is_valid(bi.g) && maximum;
   if (!r.ok)
-    std::cerr << "RESULT CHECK FAILED on " << bi.meta.name << ": got "
-              << r.cardinality << ", want " << bi.maximum_cardinality
-              << (m.is_valid(bi.g) ? "" : " (invalid matching)") << '\n';
+    std::cerr << "RESULT CHECK FAILED for " << solver.name() << " on "
+              << bi.meta.name << ": got " << r.cardinality << ", want "
+              << bi.maximum_cardinality
+              << (result.matching.is_valid(bi.g) ? "" : " (invalid matching)")
+              << '\n';
   return r;
 }
 
-}  // namespace
-
-AlgoResult run_g_pr(device::Device& dev, const BuiltInstance& bi,
-                    const gpu::GprOptions& options) {
-  Timer t;
-  auto result = gpu::g_pr(dev, bi.g, bi.init, options);
-  AlgoResult r = check(bi, t.elapsed_s(), result.matching);
-  r.modeled_seconds = result.stats.modeled_ms / 1e3;
-  return r;
-}
-
-AlgoResult run_g_hkdw(device::Device& dev, const BuiltInstance& bi) {
-  Timer t;
-  auto result = gpu::g_hk(dev, bi.g, bi.init, {.duff_wiberg = true});
-  AlgoResult r = check(bi, t.elapsed_s(), result.matching);
-  r.modeled_seconds = result.stats.modeled_ms / 1e3;
-  return r;
-}
-
-AlgoResult run_p_dbfs(const BuiltInstance& bi, unsigned threads) {
-  Timer t;
-  auto result = mc::p_dbfs(bi.g, bi.init, {.num_threads = threads});
-  return check(bi, t.elapsed_s(), result.matching);
-}
-
-AlgoResult run_seq_pr(const BuiltInstance& bi) {
-  Timer t;
-  auto m = matching::seq_push_relabel(bi.g, bi.init);
-  return check(bi, t.elapsed_s(), m);
+AlgoResult run_solver(const std::string& name, device::Device& dev,
+                      const BuiltInstance& bi, unsigned threads) {
+  return run_solver(*SolverRegistry::instance().create(name), dev, bi,
+                    threads);
 }
 
 void print_header(const std::string& title, const SuiteOptions& opt,

@@ -4,12 +4,10 @@
 #include <string>
 #include <vector>
 
-#include "core/g_hk.hpp"
-#include "core/g_pr.hpp"
+#include "core/solver.hpp"
 #include "device/device.hpp"
 #include "graph/instances.hpp"
 #include "matching/matching.hpp"
-#include "multicore/pdbfs.hpp"
 #include "util/cli.hpp"
 
 namespace bpm::bench {
@@ -26,12 +24,18 @@ struct SuiteOptions {
   /// C2050 device time for GPU algorithms by default (DESIGN.md D9);
   /// --no-model switches them to raw host wall time of the simulator.
   bool no_model = false;
+  /// Solvers selected with --algo (registry names), when the harness
+  /// registered the flag.
+  std::vector<std::string> algos;
 };
 
 /// Registers the shared flags on `cli`; call `cli.parse` afterwards and
 /// then `suite_options_from_cli`.  `default_stride` lets expensive sweeps
 /// (Figure 1 runs 21 configurations) default to a subset of the 28.
-void register_suite_flags(CliParser& cli, int default_stride = 1);
+/// A non-empty `default_algos` additionally registers --algo, letting the
+/// harness run any set of registry solvers without code changes.
+void register_suite_flags(CliParser& cli, int default_stride = 1,
+                          const std::string& default_algos = "");
 [[nodiscard]] SuiteOptions suite_options_from_cli(const CliParser& cli);
 
 /// One generated instance with its cheap-matching initialisation.
@@ -72,12 +76,17 @@ struct AlgoResult {
                                                   : r.modeled_seconds;
 }
 
-[[nodiscard]] AlgoResult run_g_pr(device::Device& dev, const BuiltInstance& bi,
-                                  const gpu::GprOptions& options);
-[[nodiscard]] AlgoResult run_g_hkdw(device::Device& dev,
-                                    const BuiltInstance& bi);
-[[nodiscard]] AlgoResult run_p_dbfs(const BuiltInstance& bi, unsigned threads);
-[[nodiscard]] AlgoResult run_seq_pr(const BuiltInstance& bi);
+/// Runs a configured solver instance on `bi` through the uniform interface
+/// and verifies the result — the one dispatch path every harness uses.
+[[nodiscard]] AlgoResult run_solver(const Solver& solver, device::Device& dev,
+                                    const BuiltInstance& bi,
+                                    unsigned threads = 0);
+
+/// Registry-name convenience: `run_solver(*registry.create(name), ...)`.
+[[nodiscard]] AlgoResult run_solver(const std::string& name,
+                                    device::Device& dev,
+                                    const BuiltInstance& bi,
+                                    unsigned threads = 0);
 
 /// Prints the standard harness header (instance count, scale, hardware).
 void print_header(const std::string& title, const SuiteOptions& opt,

@@ -28,18 +28,8 @@ int main(int argc, char** argv) {
   SuiteOptions opt = suite_options_from_cli(cli);
 
   std::vector<double> scales;
-  {
-    const std::string& s = cli.get_string("scales");
-    std::size_t pos = 0;
-    while (pos < s.size()) {
-      const std::size_t comma = s.find(',', pos);
-      const std::string tok =
-          s.substr(pos, comma == std::string::npos ? comma : comma - pos);
-      scales.push_back(std::stod(tok));
-      if (comma == std::string::npos) break;
-      pos = comma + 1;
-    }
-  }
+  for (const std::string& tok : cli.get_string_list("scales"))
+    scales.push_back(std::stod(tok));
 
   // One representative per structurally distinct class.
   const std::vector<int> ids = {4 /*flickr: social*/, 7 /*kron*/,
@@ -64,8 +54,8 @@ int main(int argc, char** argv) {
           graph::paper_instances()[static_cast<std::size_t>(id - 1)], one);
       device::Device dev({.mode = device::ExecMode::kConcurrent,
                           .num_threads = opt.threads});
-      const AlgoResult pr = run_seq_pr(bi);
-      const AlgoResult gpr = run_g_pr(dev, bi, gpu::GprOptions{});
+      const AlgoResult pr = run_solver("seq-pr", dev, bi);
+      const AlgoResult gpr = run_solver("g-pr-shr", dev, bi);
       all_ok &= pr.ok && gpr.ok;
       row.push_back(pr.seconds / device_seconds(gpr, one));
     }

@@ -1,13 +1,15 @@
 // Reproduces paper Table I: for every graph — its shape (#rows, #cols,
 // #edges), the initial (IM) and maximum (MM) matching cardinalities, and
-// the runtimes of G-PR, G-HKDW, P-DBFS and sequential PR — plus the
-// geometric means of the four runtime columns (paper: 0.70 / 0.92 / 1.99 /
-// 2.15 seconds).
+// the runtimes of the selected solvers (default: G-PR, G-HKDW, P-DBFS and
+// sequential PR, the paper's four) — plus the geometric means of the
+// runtime columns (paper: 0.70 / 0.92 / 1.99 / 2.15 seconds).
 //
-// Every algorithm's result is validated against the Hopcroft–Karp ground
-// truth before its time is reported.
+// Any registry solver set works: `table1_runtimes --algo g-pr-shr,hk,pf`.
+// Every result is validated against the Hopcroft–Karp ground truth before
+// its time is reported.
 
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "harness_common.hpp"
@@ -19,47 +21,50 @@ int main(int argc, char** argv) {
   using namespace bpm::bench;
 
   CliParser cli("table1_runtimes",
-                "Table I: instance statistics and runtimes of all four "
-                "algorithms");
-  register_suite_flags(cli);
+                "Table I: instance statistics and per-solver runtimes");
+  register_suite_flags(cli, /*default_stride=*/1,
+                       /*default_algos=*/"g-pr-shr,g-hkdw,p-dbfs,seq-pr");
   cli.parse(argc, argv);
   const SuiteOptions opt = suite_options_from_cli(cli);
 
   const auto suite = build_suite(opt);
-  print_header("Table I — per-graph runtimes of G-PR / G-HKDW / P-DBFS / PR",
-               opt, suite.size());
+  print_header("Table I — per-graph solver runtimes", opt, suite.size());
 
   device::Device dev(
       {.mode = device::ExecMode::kConcurrent, .num_threads = opt.threads});
+  std::vector<std::unique_ptr<Solver>> solvers;
+  for (const auto& name : opt.algos)
+    solvers.push_back(SolverRegistry::instance().create(name));
 
   bool all_ok = true;
-  Table table({"id", "graph", "rows", "cols", "edges", "IM", "MM",
-               "G-PR", "G-HKDW", "P-DBFS", "PR"},
-              3);
-  std::vector<double> t_gpr, t_ghkdw, t_pdbfs, t_pr;
+  std::vector<std::string> headers{"id", "graph", "rows", "cols", "edges",
+                                   "IM", "MM"};
+  for (const auto& s : solvers) headers.push_back(s->name());
+  Table table(std::move(headers), 3);
+
+  std::vector<std::vector<double>> times(solvers.size());
   for (const auto& bi : suite) {
-    const AlgoResult gpr = run_g_pr(dev, bi, gpu::GprOptions{});
-    const AlgoResult ghkdw = run_g_hkdw(dev, bi);
-    const AlgoResult pdbfs = run_p_dbfs(bi, opt.threads);
-    const AlgoResult pr = run_seq_pr(bi);
-    all_ok &= gpr.ok && ghkdw.ok && pdbfs.ok && pr.ok;
-    t_gpr.push_back(device_seconds(gpr, opt));
-    t_ghkdw.push_back(device_seconds(ghkdw, opt));
-    t_pdbfs.push_back(pdbfs.seconds);
-    t_pr.push_back(pr.seconds);
-    table.add_row({static_cast<std::int64_t>(bi.meta.id), bi.meta.name,
-                   static_cast<std::int64_t>(bi.g.num_rows()),
-                   static_cast<std::int64_t>(bi.g.num_cols()),
-                   static_cast<std::int64_t>(bi.g.num_edges()),
-                   static_cast<std::int64_t>(bi.initial_cardinality),
-                   static_cast<std::int64_t>(bi.maximum_cardinality),
-                   t_gpr.back(), t_ghkdw.back(), pdbfs.seconds, pr.seconds});
+    std::vector<Table::Cell> row{
+        static_cast<std::int64_t>(bi.meta.id), bi.meta.name,
+        static_cast<std::int64_t>(bi.g.num_rows()),
+        static_cast<std::int64_t>(bi.g.num_cols()),
+        static_cast<std::int64_t>(bi.g.num_edges()),
+        static_cast<std::int64_t>(bi.initial_cardinality),
+        static_cast<std::int64_t>(bi.maximum_cardinality)};
+    for (std::size_t i = 0; i < solvers.size(); ++i) {
+      const AlgoResult r = run_solver(*solvers[i], dev, bi, opt.threads);
+      all_ok &= r.ok;
+      times[i].push_back(device_seconds(r, opt));
+      row.push_back(times[i].back());
+    }
+    table.add_row(std::move(row));
   }
-  table.add_row({std::int64_t{0}, std::string("GEOMEAN"), std::int64_t{0},
-                 std::int64_t{0}, std::int64_t{0}, std::int64_t{0},
-                 std::int64_t{0}, geometric_mean(t_gpr),
-                 geometric_mean(t_ghkdw), geometric_mean(t_pdbfs),
-                 geometric_mean(t_pr)});
+  std::vector<Table::Cell> geo{std::int64_t{0}, std::string("GEOMEAN"),
+                               std::int64_t{0}, std::int64_t{0},
+                               std::int64_t{0}, std::int64_t{0},
+                               std::int64_t{0}};
+  for (const auto& t : times) geo.push_back(geometric_mean(t));
+  table.add_row(std::move(geo));
 
   if (opt.csv)
     std::cout << table.to_csv();
@@ -68,10 +73,7 @@ int main(int argc, char** argv) {
 
   std::cout << "\nPaper geometric means (seconds, Tesla C2050 / 8-thread "
                "Xeon): G-PR 0.70, G-HKDW 0.92, P-DBFS 1.99, PR 2.15.\n"
-            << "Measured geomeans: G-PR " << geometric_mean(t_gpr)
-            << ", G-HKDW " << geometric_mean(t_ghkdw) << ", P-DBFS "
-            << geometric_mean(t_pdbfs) << ", PR " << geometric_mean(t_pr)
-            << ".\nShape check: G-PR should have the smallest geomean and "
-               "PR/P-DBFS the largest two.\n";
+               "Shape check (default solver set): G-PR should have the "
+               "smallest geomean and PR/P-DBFS the largest two.\n";
   return all_ok ? 0 : 1;
 }

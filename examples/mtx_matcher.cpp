@@ -1,31 +1,26 @@
 // mtx_matcher — the production command line tool: compute a maximum
 // cardinality matching of a Matrix Market file (or a named synthetic
-// instance) with any algorithm in the library.
+// instance) with any solver — or set of solvers — in the registry, via
+// the batched matching pipeline.
 //
-//   mtx_matcher --algorithm g-pr matrix.mtx
-//   mtx_matcher --instance kron_g500-logn20 --scale 0.01 --algorithm pr
-//   mtx_matcher --algorithm g-pr-first --init karp-sipser matrix.mtx
+//   mtx_matcher --algo g-pr-shr matrix.mtx
+//   mtx_matcher --instance kron_g500-logn20 --scale 0.01 --algo seq-pr
+//   mtx_matcher --algo g-pr-shr,hk,p-dbfs --init karp-sipser matrix.mtx
 //
-// Prints the matching cardinality, timing, algorithm-specific statistics,
-// and verifies the result with the independent Berge certificate.
+// Prints per-solver cardinality, timing and algorithm statistics; every
+// result is verified (edge-validity plus maximality against a reference).
 
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
-#include "core/g_hk.hpp"
-#include "core/g_pr.hpp"
-#include "device/device.hpp"
+#include "core/pipeline.hpp"
+#include "core/solver.hpp"
 #include "graph/instances.hpp"
 #include "graph/matrix_market.hpp"
 #include "matching/greedy.hpp"
-#include "matching/hkdw.hpp"
-#include "matching/hopcroft_karp.hpp"
-#include "matching/pothen_fan.hpp"
-#include "matching/seq_pr.hpp"
-#include "matching/verify.hpp"
-#include "multicore/pdbfs.hpp"
 #include "util/cli.hpp"
-#include "util/timer.hpp"
 
 namespace {
 
@@ -47,14 +42,22 @@ graph::BipartiteGraph load_graph(const CliParser& cli) {
   return graph::read_matrix_market_file(cli.positional().front());
 }
 
-matching::Matching initial_matching(const CliParser& cli,
-                                    const graph::BipartiteGraph& g) {
+PipelineOptions pipeline_options(const CliParser& cli) {
+  PipelineOptions opt;
+  opt.device_threads = static_cast<unsigned>(cli.get_int("threads"));
+  opt.solver_threads = opt.device_threads;
   const std::string init = cli.get_string("init");
-  if (init == "cheap") return matching::cheap_matching(g);
-  if (init == "karp-sipser") return matching::karp_sipser(g);
-  if (init == "none") return matching::Matching(g);
-  throw std::invalid_argument("unknown --init '" + init +
-                              "' (cheap | karp-sipser | none)");
+  if (init == "cheap") {
+    // Default init_builder.
+  } else if (init == "karp-sipser") {
+    opt.init_builder = matching::karp_sipser;
+  } else if (init == "none") {
+    opt.share_init = false;
+  } else {
+    throw std::invalid_argument("unknown --init '" + init +
+                                "' (cheap | karp-sipser | none)");
+  }
+  return opt;
 }
 
 }  // namespace
@@ -63,10 +66,7 @@ int main(int argc, char** argv) {
   CliParser cli("mtx_matcher",
                 "maximum cardinality bipartite matching of a MatrixMarket "
                 "file or synthetic instance");
-  cli.add_option("algorithm",
-                 "g-pr | g-pr-noshr | g-pr-first | g-hk | g-hkdw | p-dbfs | "
-                 "pr | hk | hkdw | pf",
-                 "g-pr");
+  add_algo_option(cli, "g-pr-shr");
   cli.add_option("init", "initial matching: cheap | karp-sipser | none",
                  "cheap");
   cli.add_option("instance", "synthetic Table I instance name instead of a file",
@@ -74,87 +74,63 @@ int main(int argc, char** argv) {
   cli.add_option("scale", "scale for --instance", "0.015625");
   cli.add_option("seed", "seed for --instance", "1");
   cli.add_option("threads", "device/multicore threads (0 = hardware)", "0");
-  cli.add_option("k", "global-relabel frequency parameter", "0.7");
+  cli.add_option("k",
+                 "global-relabel frequency parameter (empty = each solver's "
+                 "own default)",
+                 "");
   cli.add_flag("quiet", "print only the cardinality");
 
   try {
     cli.parse(argc, argv);
-    const graph::BipartiteGraph g = load_graph(cli);
     const bool quiet = cli.get_flag("quiet");
-    if (!quiet) std::cout << "graph: " << g.describe() << "\n";
+    const std::vector<std::string> algos = algos_from_cli(cli);
 
-    Timer init_timer;
-    const matching::Matching init = initial_matching(cli, g);
+    MatchingPipeline pipeline(pipeline_options(cli));
+    const std::string name = cli.positional().empty()
+                                 ? cli.get_string("instance")
+                                 : cli.positional().front();
+    pipeline.add_instance(name, load_graph(cli));
+    const PipelineInstance& inst = pipeline.instances().front();
     if (!quiet)
-      std::cout << "initial matching (" << cli.get_string("init")
-                << "): " << init.cardinality() << " in "
-                << init_timer.elapsed_ms() << " ms\n";
+      std::cout << "graph: " << inst.graph.describe() << "\n"
+                << "initial matching (" << cli.get_string("init")
+                << "): " << inst.initial_cardinality << "\n";
 
-    const std::string algo = cli.get_string("algorithm");
-    const auto threads = static_cast<unsigned>(cli.get_int("threads"));
-    device::Device dev({.mode = device::ExecMode::kConcurrent,
-                        .num_threads = threads});
-
-    Timer timer;
-    matching::Matching m;
-    std::string extra;
-    if (algo == "g-pr" || algo == "g-pr-noshr" || algo == "g-pr-first") {
-      gpu::GprOptions opt;
-      opt.k = cli.get_double("k");
-      opt.variant = algo == "g-pr"         ? gpu::GprVariant::kShrink
-                    : algo == "g-pr-noshr" ? gpu::GprVariant::kNoShrink
-                                           : gpu::GprVariant::kFirst;
-      auto r = gpu::g_pr(dev, g, init, opt);
-      m = std::move(r.matching);
-      extra = std::to_string(r.stats.loops) + " loops, " +
-              std::to_string(r.stats.global_relabels) + " global relabels, " +
-              std::to_string(r.stats.device_launches) + " launches, modeled " +
-              std::to_string(r.stats.modeled_ms) + " ms on a C2050-class GPU";
-    } else if (algo == "g-hk" || algo == "g-hkdw") {
-      auto r = gpu::g_hk(dev, g, init, {.duff_wiberg = algo == "g-hkdw"});
-      m = std::move(r.matching);
-      extra = std::to_string(r.stats.phases) + " phases, " +
-              std::to_string(r.stats.bfs_level_kernels) + " BFS kernels";
-    } else if (algo == "p-dbfs") {
-      auto r = mc::p_dbfs(g, init, {.num_threads = threads});
-      m = std::move(r.matching);
-      extra = std::to_string(r.stats.rounds) + " rounds, " +
-              std::to_string(r.stats.blocked_searches) + " blocked searches";
-    } else if (algo == "pr") {
-      matching::SeqPrStats stats;
-      m = matching::seq_push_relabel(g, init, {}, &stats);
-      extra = std::to_string(stats.pushes) + " pushes, " +
-              std::to_string(stats.global_relabels) + " global relabels, " +
-              std::to_string(stats.gap_retired) + " gap-retired";
-    } else if (algo == "hk") {
-      matching::HkStats stats;
-      m = matching::hopcroft_karp(g, init, &stats);
-      extra = std::to_string(stats.phases) + " phases";
-    } else if (algo == "hkdw") {
-      matching::HkdwStats stats;
-      m = matching::hkdw(g, init, &stats);
-      extra = std::to_string(stats.phases) + " phases";
-    } else if (algo == "pf") {
-      matching::PfStats stats;
-      m = matching::pothen_fan(g, init, &stats);
-      extra = std::to_string(stats.phases) + " phases";
-    } else {
-      throw std::invalid_argument("unknown --algorithm '" + algo + "'");
+    // An explicit --k applies to every selected solver that understands it
+    // (set_option returns false on the rest); left empty, each solver
+    // keeps its own paper-tuned default.
+    std::vector<std::unique_ptr<Solver>> solvers;
+    for (const std::string& algo : algos) {
+      solvers.push_back(SolverRegistry::instance().create(algo));
+      if (!cli.get_string("k").empty())
+        solvers.back()->set_option("k", cli.get_string("k"));
     }
-    const double ms = timer.elapsed_ms();
+    const PipelineReport report = pipeline.run_with(solvers);
 
-    if (quiet) {
-      std::cout << m.cardinality() << "\n";
-    } else {
-      std::cout << "maximum matching: " << m.cardinality() << " in " << ms
-                << " ms (" << algo << ")\n";
-      if (!extra.empty()) std::cout << "stats: " << extra << "\n";
+    for (const PipelineJob& job : report.jobs) {
+      if (quiet) {
+        std::cout << job.stats.cardinality << "\n";
+        continue;
+      }
+      std::cout << job.solver << ": " << job.stats.cardinality << " in "
+                << job.stats.wall_ms << " ms";
+      if (job.stats.modeled_ms > 0.0)
+        std::cout << " (modeled " << job.stats.modeled_ms
+                  << " ms on a C2050-class GPU)";
+      std::cout << "\n";
+      if (!job.stats.detail.empty())
+        std::cout << "  stats: " << job.stats.detail << "\n";
+      if (!job.ok) std::cout << "  FAILED: " << job.error << "\n";
     }
-    if (!m.is_valid(g) || !matching::is_maximum(g, m)) {
-      std::cerr << "VERIFICATION FAILED\n";
+
+    if (!report.all_ok()) {
+      std::cerr << "VERIFICATION FAILED (" << report.totals.failed << " of "
+                << report.totals.jobs << " jobs)\n";
       return 2;
     }
-    if (!quiet) std::cout << "verified: valid and maximum (Berge)\n";
+    if (!quiet)
+      std::cout << "verified: " << report.totals.jobs
+                << " job(s) valid and maximum (Berge/reference)\n";
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

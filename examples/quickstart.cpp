@@ -1,15 +1,15 @@
 // Quickstart: build a small bipartite graph, run the GPU push-relabel
-// matcher, and print the matching.
+// matcher through the solver registry, and print the matching.
 //
 //   $ ./quickstart
 //
 // This walks through the full public API surface in ~60 lines:
-// graph construction, greedy initialisation, the G-PR solver, and
-// independent verification.
+// graph construction, greedy initialisation, registry-dispatched solving,
+// and independent verification.
 
 #include <iostream>
 
-#include "core/g_pr.hpp"
+#include "core/solver.hpp"
 #include "device/device.hpp"
 #include "graph/builder.hpp"
 #include "matching/greedy.hpp"
@@ -34,12 +34,17 @@ int main() {
   const matching::Matching init = matching::cheap_matching(g);
   std::cout << "greedy initial matching: " << init.cardinality() << " pairs\n";
 
-  // The device is the CUDA-style execution engine (concurrent by default).
-  device::Device dev;
+  // Every algorithm is a named entry in the solver registry; "g-pr-shr" is
+  // G-PR with the paper's best configuration (active-list variant with
+  // shrinking, (adaptive, 0.7) global relabeling).
+  std::cout << "registered solvers: "
+            << SolverRegistry::instance().names_csv() << "\n";
 
-  // G-PR with the paper's best configuration: active-list variant with
-  // shrinking, (adaptive, 0.7) global relabeling.
-  const gpu::GprResult result = gpu::g_pr(dev, g, init);
+  // The device is the CUDA-style execution engine (concurrent by default);
+  // the context hands it to whichever solver needs one.
+  device::Device dev;
+  const SolveContext ctx{.device = &dev};
+  const SolveResult result = solve("g-pr-shr", ctx, g, init);
 
   std::cout << "maximum matching: " << result.matching.cardinality()
             << " pairs\n";
@@ -49,9 +54,10 @@ int main() {
       std::cout << "  row " << u << "  <->  col " << v << "\n";
   }
 
-  std::cout << "loops=" << result.stats.loops
-            << " global_relabels=" << result.stats.global_relabels
-            << " kernel_launches=" << result.stats.device_launches << "\n";
+  std::cout << "wall " << result.stats.wall_ms << " ms, modeled device "
+            << result.stats.modeled_ms << " ms, "
+            << result.stats.device_launches << " kernel launches ("
+            << result.stats.detail << ")\n";
 
   // Independent certificate: no augmenting path exists (Berge's theorem).
   const bool maximum = matching::is_maximum(g, result.matching);

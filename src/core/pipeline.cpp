@@ -1,0 +1,114 @@
+#include "core/pipeline.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "matching/greedy.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/verify.hpp"
+
+namespace bpm {
+
+std::vector<const PipelineJob*> PipelineReport::jobs_for(
+    std::size_t instance) const {
+  std::vector<const PipelineJob*> out;
+  for (const PipelineJob& job : jobs)
+    if (job.instance == instance) out.push_back(&job);
+  return out;
+}
+
+MatchingPipeline::MatchingPipeline(PipelineOptions options)
+    : options_(options),
+      device_({.mode = options.device_mode,
+               .num_threads = options.device_threads}) {}
+
+std::size_t MatchingPipeline::add_instance(std::string name,
+                                           graph::BipartiteGraph graph) {
+  PipelineInstance inst;
+  inst.name = std::move(name);
+  inst.graph = std::move(graph);
+  inst.init = !options_.share_init ? matching::Matching(inst.graph)
+              : options_.init_builder
+                  ? options_.init_builder(inst.graph)
+                  : matching::cheap_matching(inst.graph);
+  inst.initial_cardinality = inst.init.cardinality();
+  if (options_.verify)
+    // Ground truth once per instance via Hopcroft–Karp seeded with the
+    // shared init (tested against the independent reference in tests/).
+    inst.maximum_cardinality =
+        matching::hopcroft_karp(inst.graph, inst.init).cardinality();
+  instances_.push_back(std::move(inst));
+  return instances_.size() - 1;
+}
+
+PipelineReport MatchingPipeline::run(
+    const std::vector<std::string>& solver_names) {
+  // Resolve every name up front so a typo fails the whole batch loudly
+  // instead of surfacing as per-job errors after minutes of solving.
+  std::vector<std::unique_ptr<Solver>> solvers;
+  solvers.reserve(solver_names.size());
+  for (const std::string& name : solver_names)
+    solvers.push_back(SolverRegistry::instance().create(name));
+  return run_with(solvers);
+}
+
+PipelineReport MatchingPipeline::run_with(
+    const std::vector<std::unique_ptr<Solver>>& solvers) {
+  const SolveContext ctx{.device = &device_, .threads = options_.solver_threads};
+
+  PipelineReport report;
+  report.jobs.reserve(instances_.size() * solvers.size());
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    const PipelineInstance& inst = instances_[i];
+    for (const std::unique_ptr<Solver>& solver : solvers) {
+      PipelineJob job;
+      job.instance = i;
+      job.solver = solver->name();
+      try {
+        SolveResult result = solver->run(ctx, inst.graph, inst.init);
+        job.stats = std::move(result.stats);
+        job.ok = true;
+        if (options_.verify) {
+          if (!result.matching.is_valid(inst.graph)) {
+            job.ok = false;
+            job.error = "invalid matching: " +
+                        result.matching.first_violation(inst.graph);
+          } else if (solver->caps().exact &&
+                     job.stats.cardinality != inst.maximum_cardinality) {
+            job.ok = false;
+            job.error = "not maximum: got " +
+                        std::to_string(job.stats.cardinality) + ", want " +
+                        std::to_string(inst.maximum_cardinality);
+          } else if (solver->caps().exact &&
+                     !matching::is_maximum(inst.graph, result.matching)) {
+            // Independent Berge certificate, deliberately redundant with
+            // the reference-cardinality check so a bug shared by the
+            // solver and the ground-truth HK cannot slip through.
+            job.ok = false;
+            job.error = "Berge certificate failed: an augmenting path exists";
+          } else if (!solver->caps().exact &&
+                     job.stats.cardinality > inst.maximum_cardinality) {
+            job.ok = false;
+            job.error = "cardinality " + std::to_string(job.stats.cardinality) +
+                        " exceeds the reference maximum " +
+                        std::to_string(inst.maximum_cardinality);
+          }
+        }
+      } catch (const std::exception& e) {
+        job.ok = false;
+        job.error = e.what();
+      }
+
+      report.totals.jobs += 1;
+      report.totals.failed += job.ok ? 0 : 1;
+      report.totals.matched_pairs += job.stats.cardinality;
+      report.totals.device_launches += job.stats.device_launches;
+      report.totals.wall_ms += job.stats.wall_ms;
+      report.totals.modeled_ms += job.stats.modeled_ms;
+      report.jobs.push_back(std::move(job));
+    }
+  }
+  return report;
+}
+
+}  // namespace bpm

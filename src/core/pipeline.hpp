@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "device/device.hpp"
+#include "graph/bipartite_graph.hpp"
+#include "matching/matching.hpp"
+
+namespace bpm {
+
+struct PipelineOptions {
+  /// Execution mode of the pipeline's shared device (used by every
+  /// needs-device solver in the batch).
+  device::ExecMode device_mode = device::ExecMode::kConcurrent;
+  unsigned device_threads = 0;  ///< device pool workers (0 = hardware)
+  unsigned solver_threads = 0;  ///< multicore solver workers (0 = hardware)
+  /// Check every job's matching: edge-validity plus maximality against the
+  /// per-instance reference cardinality (heuristic solvers are only
+  /// required to be valid and ≤ maximum).
+  bool verify = true;
+  /// Build the initial matching once per instance and hand it to every
+  /// solver; false starts every job from an empty matching instead.
+  bool share_init = true;
+  /// How the shared init is built; defaults to the paper's cheap greedy
+  /// heuristic (set e.g. matching::karp_sipser for a stronger start).
+  std::function<matching::Matching(const graph::BipartiteGraph&)> init_builder;
+};
+
+/// One graph admitted to the batch, with everything that is computed once
+/// and reused across all solvers that run on it.
+struct PipelineInstance {
+  std::string name;
+  graph::BipartiteGraph graph;
+  matching::Matching init;  ///< shared greedy init (see share_init)
+  graph::index_t initial_cardinality = 0;
+  /// Reference maximum cardinality (computed once when verify is on;
+  /// -1 when verification is disabled).
+  graph::index_t maximum_cardinality = -1;
+};
+
+/// Outcome of one (instance × solver) job.
+struct PipelineJob {
+  std::size_t instance = 0;  ///< index into MatchingPipeline::instances()
+  std::string solver;
+  SolveStats stats;
+  bool ok = false;     ///< ran to completion and passed verification
+  std::string error;   ///< why not, when !ok
+};
+
+struct PipelineTotals {
+  std::size_t jobs = 0;
+  std::size_t failed = 0;
+  std::int64_t matched_pairs = 0;  ///< sum of job cardinalities
+  std::int64_t device_launches = 0;
+  double wall_ms = 0.0;     ///< sum of per-job wall times
+  double modeled_ms = 0.0;  ///< sum of modeled device times
+};
+
+struct PipelineReport {
+  std::vector<PipelineJob> jobs;  ///< instance-major (instance × solver) order
+  PipelineTotals totals;
+
+  [[nodiscard]] bool all_ok() const { return totals.failed == 0; }
+
+  /// The jobs of one instance, in solver order.
+  [[nodiscard]] std::vector<const PipelineJob*> jobs_for(
+      std::size_t instance) const;
+};
+
+/// Batched matching runs: many instances × many solvers through one shared
+/// device, with per-instance init reuse and per-job verification.  This is
+/// the serving-layer seed: admit work with `add_instance`, then execute a
+/// solver set over the whole batch with `run` — any registry name works,
+/// including solvers registered after this library was built.
+///
+/// ```
+/// MatchingPipeline pipe;
+/// pipe.add_instance("a", graph_a);
+/// pipe.add_instance("b", graph_b);
+/// PipelineReport rep = pipe.run({"g-pr-shr", "hk", "p-dbfs"});
+/// // rep.jobs: 6 verified results; rep.totals: aggregate stats.
+/// ```
+class MatchingPipeline {
+ public:
+  explicit MatchingPipeline(PipelineOptions options = {});
+
+  /// Admits a graph to the batch; builds the shared greedy init and (when
+  /// verifying) the reference cardinality once.  Returns the instance
+  /// index used in `PipelineJob::instance`.
+  std::size_t add_instance(std::string name, graph::BipartiteGraph graph);
+
+  [[nodiscard]] const std::vector<PipelineInstance>& instances() const {
+    return instances_;
+  }
+
+  /// Runs every solver in `solver_names` (registry names) on every admitted
+  /// instance.  A job that throws or fails verification is recorded with
+  /// `ok == false` and does not abort the batch.
+  [[nodiscard]] PipelineReport run(
+      const std::vector<std::string>& solver_names);
+
+  /// Same, over caller-configured solver instances (e.g. after
+  /// `set_option` tuning that plain registry names cannot express).
+  [[nodiscard]] PipelineReport run_with(
+      const std::vector<std::unique_ptr<Solver>>& solvers);
+
+  /// The shared device (e.g. to reconfigure the model between runs).
+  [[nodiscard]] device::Device& device() { return device_; }
+
+ private:
+  PipelineOptions options_;
+  device::Device device_;
+  std::vector<PipelineInstance> instances_;
+};
+
+}  // namespace bpm

@@ -1,0 +1,397 @@
+#include "core/solver.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/g_hk.hpp"
+#include "core/g_pr.hpp"
+#include "core/options.hpp"
+#include "matching/greedy.hpp"
+#include "matching/hkdw.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/pothen_fan.hpp"
+#include "matching/seq_pr.hpp"
+#include "multicore/pdbfs.hpp"
+#include "util/timer.hpp"
+
+namespace bpm {
+namespace {
+
+bool parse_bool(std::string_view key, std::string_view value) {
+  if (value == "1" || value == "true" || value == "on") return true;
+  if (value == "0" || value == "false" || value == "off") return false;
+  throw std::invalid_argument("option '" + std::string(key) +
+                              "' wants a boolean, got '" + std::string(value) +
+                              "'");
+}
+
+double parse_double(std::string_view key, std::string_view value) {
+  try {
+    return std::stod(std::string(value));
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option '" + std::string(key) +
+                                "' wants a number, got '" +
+                                std::string(value) + "'");
+  }
+}
+
+device::Device& required_device(const SolveContext& ctx,
+                                const std::string& solver) {
+  if (ctx.device == nullptr)
+    throw std::invalid_argument("solver '" + solver +
+                                "' needs a device; set SolveContext::device");
+  return *ctx.device;
+}
+
+// ---- device push-relabel (G-PR family) -------------------------------------
+
+class GprSolver final : public Solver {
+ public:
+  GprSolver(std::string name, gpu::GprVariant variant) : name_(std::move(name)) {
+    options_.variant = variant;
+  }
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] SolverCaps caps() const override {
+    return {.needs_device = true, .multicore = false, .deterministic = false,
+            .exact = true};
+  }
+
+  bool set_option(std::string_view key, std::string_view value) override {
+    if (key == "k") {
+      options_.k = parse_double(key, value);
+    } else if (key == "strategy") {
+      if (value == "adaptive")
+        options_.strategy = gpu::RelabelStrategy::kAdaptive;
+      else if (value == "fix" || value == "fixed")
+        options_.strategy = gpu::RelabelStrategy::kFixed;
+      else
+        throw std::invalid_argument("option 'strategy' wants adaptive|fix");
+    } else if (key == "shrink-threshold") {
+      options_.shrink_threshold =
+          static_cast<graph::index_t>(parse_double(key, value));
+    } else if (key == "initial-gr") {
+      options_.initial_global_relabel = parse_bool(key, value);
+    } else if (key == "concurrent-gr") {
+      options_.concurrent_global_relabel = parse_bool(key, value);
+    } else {
+      return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] SolveResult run(const SolveContext& ctx,
+                                const graph::BipartiteGraph& g,
+                                const matching::Matching& init) const override {
+    device::Device& dev = required_device(ctx, name_);
+    Timer t;
+    gpu::GprResult r = gpu::g_pr(dev, g, init, options_);
+    SolveResult out{std::move(r.matching), {}};
+    out.stats.wall_ms = t.elapsed_ms();
+    out.stats.cardinality = out.matching.cardinality();
+    out.stats.modeled_ms = r.stats.modeled_ms;
+    out.stats.device_launches = r.stats.device_launches;
+    out.stats.iterations = r.stats.loops;
+    std::ostringstream d;
+    d << options_.describe() << ": " << r.stats.global_relabels
+      << " global relabels, " << r.stats.shrinks << " shrinks, "
+      << r.stats.device_launches << " launches";
+    out.stats.detail = d.str();
+    return out;
+  }
+
+ private:
+  std::string name_;
+  gpu::GprOptions options_;
+};
+
+// ---- device Hopcroft–Karp (G-HK / G-HKDW) ----------------------------------
+
+class GhkSolver final : public Solver {
+ public:
+  GhkSolver(std::string name, bool duff_wiberg)
+      : name_(std::move(name)), duff_wiberg_(duff_wiberg) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] SolverCaps caps() const override {
+    return {.needs_device = true, .multicore = false, .deterministic = false,
+            .exact = true};
+  }
+
+  [[nodiscard]] SolveResult run(const SolveContext& ctx,
+                                const graph::BipartiteGraph& g,
+                                const matching::Matching& init) const override {
+    device::Device& dev = required_device(ctx, name_);
+    const std::uint64_t launches_before = dev.launches();
+    Timer t;
+    gpu::GhkResult r = gpu::g_hk(dev, g, init, {.duff_wiberg = duff_wiberg_});
+    SolveResult out{std::move(r.matching), {}};
+    out.stats.wall_ms = t.elapsed_ms();
+    out.stats.cardinality = out.matching.cardinality();
+    out.stats.modeled_ms = r.stats.modeled_ms;
+    out.stats.device_launches =
+        static_cast<std::int64_t>(dev.launches() - launches_before);
+    out.stats.iterations = r.stats.phases;
+    std::ostringstream d;
+    d << r.stats.phases << " phases, " << r.stats.bfs_level_kernels
+      << " BFS kernels, " << r.stats.sequential_fallbacks
+      << " sequential fallbacks";
+    out.stats.detail = d.str();
+    return out;
+  }
+
+ private:
+  std::string name_;
+  bool duff_wiberg_;
+};
+
+// ---- multicore P-DBFS ------------------------------------------------------
+
+class PdbfsSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string name() const override { return "p-dbfs"; }
+
+  [[nodiscard]] SolverCaps caps() const override {
+    return {.needs_device = false, .multicore = true, .deterministic = false,
+            .exact = true};
+  }
+
+  [[nodiscard]] SolveResult run(const SolveContext& ctx,
+                                const graph::BipartiteGraph& g,
+                                const matching::Matching& init) const override {
+    Timer t;
+    mc::PdbfsResult r = mc::p_dbfs(g, init, {.num_threads = ctx.threads});
+    SolveResult out{std::move(r.matching), {}};
+    out.stats.wall_ms = t.elapsed_ms();
+    out.stats.cardinality = out.matching.cardinality();
+    out.stats.iterations = r.stats.rounds;
+    std::ostringstream d;
+    d << r.stats.rounds << " rounds, " << r.stats.augmentations
+      << " augmentations, " << r.stats.blocked_searches << " blocked searches";
+    out.stats.detail = d.str();
+    return out;
+  }
+};
+
+// ---- sequential matchers ---------------------------------------------------
+
+class SeqPrSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string name() const override { return "seq-pr"; }
+
+  [[nodiscard]] SolverCaps caps() const override { return {}; }
+
+  bool set_option(std::string_view key, std::string_view value) override {
+    if (key == "k")
+      options_.global_relabel_k = parse_double(key, value);
+    else if (key == "gap")
+      options_.gap_relabeling = parse_bool(key, value);
+    else if (key == "initial-gr")
+      options_.initial_global_relabel = parse_bool(key, value);
+    else
+      return false;
+    return true;
+  }
+
+  [[nodiscard]] SolveResult run(const SolveContext&,
+                                const graph::BipartiteGraph& g,
+                                const matching::Matching& init) const override {
+    Timer t;
+    matching::SeqPrStats stats;
+    SolveResult out{matching::seq_push_relabel(g, init, options_, &stats), {}};
+    out.stats.wall_ms = t.elapsed_ms();
+    out.stats.cardinality = out.matching.cardinality();
+    out.stats.iterations = stats.pushes;
+    std::ostringstream d;
+    d << stats.pushes << " pushes, " << stats.global_relabels
+      << " global relabels, " << stats.gap_retired << " gap-retired";
+    out.stats.detail = d.str();
+    return out;
+  }
+
+ private:
+  matching::SeqPrOptions options_;
+};
+
+class HkSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string name() const override { return "hk"; }
+  [[nodiscard]] SolverCaps caps() const override { return {}; }
+
+  [[nodiscard]] SolveResult run(const SolveContext&,
+                                const graph::BipartiteGraph& g,
+                                const matching::Matching& init) const override {
+    Timer t;
+    matching::HkStats stats;
+    SolveResult out{matching::hopcroft_karp(g, init, &stats), {}};
+    out.stats.wall_ms = t.elapsed_ms();
+    out.stats.cardinality = out.matching.cardinality();
+    out.stats.iterations = stats.phases;
+    out.stats.detail = std::to_string(stats.phases) + " phases, " +
+                       std::to_string(stats.augmentations) + " augmentations";
+    return out;
+  }
+};
+
+class HkdwSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string name() const override { return "hkdw"; }
+  [[nodiscard]] SolverCaps caps() const override { return {}; }
+
+  [[nodiscard]] SolveResult run(const SolveContext&,
+                                const graph::BipartiteGraph& g,
+                                const matching::Matching& init) const override {
+    Timer t;
+    matching::HkdwStats stats;
+    SolveResult out{matching::hkdw(g, init, &stats), {}};
+    out.stats.wall_ms = t.elapsed_ms();
+    out.stats.cardinality = out.matching.cardinality();
+    out.stats.iterations = stats.phases;
+    out.stats.detail = std::to_string(stats.phases) + " phases, " +
+                       std::to_string(stats.dw_augmentations) +
+                       " DW augmentations";
+    return out;
+  }
+};
+
+class PfSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string name() const override { return "pf"; }
+  [[nodiscard]] SolverCaps caps() const override { return {}; }
+
+  [[nodiscard]] SolveResult run(const SolveContext&,
+                                const graph::BipartiteGraph& g,
+                                const matching::Matching& init) const override {
+    Timer t;
+    matching::PfStats stats;
+    SolveResult out{matching::pothen_fan(g, init, &stats), {}};
+    out.stats.wall_ms = t.elapsed_ms();
+    out.stats.cardinality = out.matching.cardinality();
+    out.stats.iterations = stats.phases;
+    out.stats.detail = std::to_string(stats.phases) + " phases, " +
+                       std::to_string(stats.augmentations) + " augmentations";
+    return out;
+  }
+};
+
+// ---- initialisation heuristics as (inexact) solvers ------------------------
+
+class GreedySolver final : public Solver {
+ public:
+  explicit GreedySolver(bool karp_sipser) : karp_sipser_(karp_sipser) {}
+
+  [[nodiscard]] std::string name() const override {
+    return karp_sipser_ ? "karp-sipser" : "greedy";
+  }
+
+  [[nodiscard]] SolverCaps caps() const override {
+    return {.needs_device = false, .multicore = false, .deterministic = true,
+            .exact = false};
+  }
+
+  [[nodiscard]] SolveResult run(const SolveContext&,
+                                const graph::BipartiteGraph& g,
+                                const matching::Matching&) const override {
+    Timer t;
+    SolveResult out{karp_sipser_ ? matching::karp_sipser(g)
+                                 : matching::cheap_matching(g),
+                    {}};
+    out.stats.wall_ms = t.elapsed_ms();
+    out.stats.cardinality = out.matching.cardinality();
+    return out;
+  }
+
+ private:
+  bool karp_sipser_;
+};
+
+}  // namespace
+
+bool Solver::set_option(std::string_view, std::string_view) { return false; }
+
+SolverRegistry::SolverRegistry() {
+  add("g-pr-shr", [] {
+    return std::make_unique<GprSolver>("g-pr-shr", gpu::GprVariant::kShrink);
+  });
+  add("g-pr-noshr", [] {
+    return std::make_unique<GprSolver>("g-pr-noshr",
+                                       gpu::GprVariant::kNoShrink);
+  });
+  add("g-pr-first", [] {
+    return std::make_unique<GprSolver>("g-pr-first", gpu::GprVariant::kFirst);
+  });
+  add("g-hk", [] { return std::make_unique<GhkSolver>("g-hk", false); });
+  add("g-hkdw", [] { return std::make_unique<GhkSolver>("g-hkdw", true); });
+  add("p-dbfs", [] { return std::make_unique<PdbfsSolver>(); });
+  add("seq-pr", [] { return std::make_unique<SeqPrSolver>(); });
+  add("hk", [] { return std::make_unique<HkSolver>(); });
+  add("hkdw", [] { return std::make_unique<HkdwSolver>(); });
+  add("pf", [] { return std::make_unique<PfSolver>(); });
+  add("greedy", [] { return std::make_unique<GreedySolver>(false); });
+  add("karp-sipser", [] { return std::make_unique<GreedySolver>(true); });
+  // The paper's shorthand spellings.
+  add_alias("g-pr", "g-pr-shr");
+  add_alias("pr", "seq-pr");
+}
+
+SolverRegistry& SolverRegistry::instance() {
+  static SolverRegistry registry;
+  return registry;
+}
+
+void SolverRegistry::add(const std::string& name, Factory factory) {
+  if (factories_.contains(name) || aliases_.contains(name))
+    throw std::invalid_argument("solver '" + name + "' already registered");
+  factories_.emplace(name, std::move(factory));
+}
+
+void SolverRegistry::add_alias(const std::string& alias,
+                               const std::string& canonical) {
+  if (factories_.contains(alias) || aliases_.contains(alias))
+    throw std::invalid_argument("solver '" + alias + "' already registered");
+  if (!factories_.contains(canonical))
+    throw std::invalid_argument("alias target '" + canonical + "' unknown");
+  aliases_.emplace(alias, canonical);
+}
+
+bool SolverRegistry::contains(const std::string& name) const {
+  return factories_.contains(name) || aliases_.contains(name);
+}
+
+std::unique_ptr<Solver> SolverRegistry::create(const std::string& name) const {
+  const auto alias = aliases_.find(name);
+  const auto it =
+      factories_.find(alias == aliases_.end() ? name : alias->second);
+  if (it == factories_.end())
+    throw std::invalid_argument("unknown solver '" + name + "' (have: " +
+                                names_csv() + ")");
+  return it->second();
+}
+
+std::vector<std::string> SolverRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;  // std::map iteration is already sorted
+}
+
+std::string SolverRegistry::names_csv() const {
+  std::string out;
+  for (const auto& name : names()) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+SolveResult solve(const std::string& solver_name, const SolveContext& ctx,
+                  const graph::BipartiteGraph& g,
+                  const matching::Matching& init) {
+  return SolverRegistry::instance().create(solver_name)->run(ctx, g, init);
+}
+
+}  // namespace bpm

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "device/device.hpp"
+#include "graph/bipartite_graph.hpp"
+#include "matching/matching.hpp"
+
+namespace bpm {
+
+/// Static capabilities of a solver, used by harnesses and the pipeline to
+/// decide how to schedule a run and how to interpret its results.
+struct SolverCaps {
+  /// Runs its kernels on the bulk-synchronous device engine; `run` requires
+  /// `SolveContext::device` and reports modeled device time.
+  bool needs_device = false;
+  /// Spawns its own host worker threads (honours `SolveContext::threads`).
+  bool multicore = false;
+  /// Same execution schedule — and therefore the same matching — on every
+  /// run.  False for the racy device kernels and the multicore matcher,
+  /// whose *cardinality* is still always maximum but whose edge set depends
+  /// on thread interleaving.
+  bool deterministic = true;
+  /// Guarantees a maximum-cardinality result.  False for the
+  /// initialisation heuristics (greedy, Karp–Sipser), which are registered
+  /// so that pipelines can run and compare them like any other solver.
+  bool exact = true;
+};
+
+/// Unified per-run statistics every solver reports, regardless of backend.
+struct SolveStats {
+  graph::index_t cardinality = 0;
+  double wall_ms = 0.0;          ///< host wall time of the run
+  double modeled_ms = 0.0;       ///< device-model time; 0 for CPU solvers
+  std::int64_t device_launches = 0;  ///< kernel launches; 0 for CPU solvers
+  /// The algorithm's outer-iteration count: main-loop iterations (G-PR),
+  /// phases (HK family), or rounds (P-DBFS).  0 for one-shot heuristics.
+  std::int64_t iterations = 0;
+  std::string detail;  ///< algorithm-specific counters, human-readable
+};
+
+struct SolveResult {
+  matching::Matching matching;
+  SolveStats stats;
+};
+
+/// Execution resources handed to a solver.  The caller owns both; a single
+/// context (and device) can be reused across many runs and solvers.
+struct SolveContext {
+  device::Device* device = nullptr;  ///< required when caps().needs_device
+  unsigned threads = 0;  ///< workers for multicore solvers (0 = hardware)
+};
+
+/// A maximum cardinality bipartite matching algorithm behind a uniform
+/// interface.  Implementations adapt the free functions in core/, matching/
+/// and multicore/ without touching their kernel logic; instances are
+/// created by the `SolverRegistry` and carry per-instance tuning state set
+/// via `set_option`.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Canonical registry name ("g-pr-shr", "hk", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual SolverCaps caps() const = 0;
+
+  /// Sets a string-typed tuning knob ("k", "strategy", "initial-gr", ...).
+  /// Returns false if the solver does not understand `key`; throws
+  /// `std::invalid_argument` on a malformed value for a known key.
+  virtual bool set_option(std::string_view key, std::string_view value);
+
+  /// Runs the algorithm from the initial matching `init` (which must be
+  /// valid for `g`; pass `Matching(g)` for an empty start).  Fills every
+  /// applicable `SolveStats` field including wall time.  Throws
+  /// `std::invalid_argument` if the context is missing a required device.
+  [[nodiscard]] virtual SolveResult run(const SolveContext& ctx,
+                                        const graph::BipartiteGraph& g,
+                                        const matching::Matching& init) const = 0;
+};
+
+/// Name → factory table of every matching algorithm in the library.
+///
+/// `instance()` arrives pre-populated with the built-in solvers; callers
+/// (plugins, experiments) can `add` their own factories, which makes the
+/// registry the extension point for new backends — a new algorithm
+/// registered here is immediately reachable from every bench harness,
+/// example binary, and pipeline without touching any of them.
+class SolverRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Solver>()>;
+
+  /// The process-wide registry, with built-ins registered.
+  [[nodiscard]] static SolverRegistry& instance();
+
+  /// Registers a factory under a canonical name.  Throws
+  /// `std::invalid_argument` if the name is already taken.
+  void add(const std::string& name, Factory factory);
+
+  /// Registers an alternative spelling for an existing canonical name
+  /// ("g-pr" → "g-pr-shr").  Aliases resolve in `create`/`contains` but do
+  /// not appear in `names()`.
+  void add_alias(const std::string& alias, const std::string& canonical);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Instantiates the named solver.  Throws `std::invalid_argument` for an
+  /// unknown name, listing the registered names in the message.
+  [[nodiscard]] std::unique_ptr<Solver> create(const std::string& name) const;
+
+  /// Canonical names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// names() joined with ", " — for --help strings and error messages.
+  [[nodiscard]] std::string names_csv() const;
+
+ private:
+  SolverRegistry();
+
+  std::map<std::string, Factory> factories_;
+  std::map<std::string, std::string> aliases_;
+};
+
+/// One-line convenience: `create(name)` on the global registry and run.
+[[nodiscard]] SolveResult solve(const std::string& solver_name,
+                                const SolveContext& ctx,
+                                const graph::BipartiteGraph& g,
+                                const matching::Matching& init);
+
+}  // namespace bpm

@@ -44,7 +44,7 @@ struct Matching {
   /// Human-readable reason for the first validity violation, or "" if valid.
   [[nodiscard]] std::string first_violation(const BipartiteGraph& g) const;
 
-  /// Adds edge {u, v}; both endpooints must be free.
+  /// Adds edge {u, v}; both endpoints must be free.
   void match(index_t u, index_t v);
 };
 

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/solver.hpp"
+
 namespace bpm {
 
 CliParser::CliParser(std::string program, std::string description)
@@ -101,6 +103,41 @@ double CliParser::get_double(const std::string& name) const {
     throw std::invalid_argument(program_ + ": --" + name + "=" + e.value +
                                 " is not a number");
   }
+}
+
+std::vector<std::string> CliParser::get_string_list(
+    const std::string& name) const {
+  const std::string& value = find(name).value;
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= value.size()) {
+    const std::size_t comma = value.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? value.size() : comma;
+    if (end > pos) out.push_back(value.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+void add_algo_option(CliParser& cli, const std::string& default_value) {
+  cli.add_option("algo",
+                 "comma-separated solver names (" +
+                     SolverRegistry::instance().names_csv() + ")",
+                 default_value);
+}
+
+std::vector<std::string> algos_from_cli(const CliParser& cli) {
+  std::vector<std::string> algos = cli.get_string_list("algo");
+  if (algos.empty())
+    throw std::invalid_argument("--algo needs at least one solver name (" +
+                                SolverRegistry::instance().names_csv() + ")");
+  for (const std::string& name : algos)
+    if (!SolverRegistry::instance().contains(name))
+      throw std::invalid_argument("--algo: unknown solver '" + name +
+                                  "' (have: " +
+                                  SolverRegistry::instance().names_csv() + ")");
+  return algos;
 }
 
 std::string CliParser::usage() const {

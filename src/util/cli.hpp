@@ -42,6 +42,16 @@ class CliParser {
   [[nodiscard]] std::int64_t get_int(const std::string& name) const;
   [[nodiscard]] double get_double(const std::string& name) const;
 
+  /// The option's value split on commas, empty tokens dropped
+  /// ("a,b,c" → {"a", "b", "c"}).
+  [[nodiscard]] std::vector<std::string> get_string_list(
+      const std::string& name) const;
+
+  /// True if a flag or option with this name was registered.
+  [[nodiscard]] bool has(const std::string& name) const {
+    return entries_.contains(name);
+  }
+
   /// Positional arguments, in order of appearance.
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;
@@ -65,5 +75,13 @@ class CliParser {
   std::vector<std::string> order_;
   std::vector<std::string> positional_;
 };
+
+/// Registers `--algo <name,name,...>` selecting solvers by their
+/// `SolverRegistry` names; the help text lists every registered name.
+void add_algo_option(CliParser& cli, const std::string& default_value);
+
+/// The parsed `--algo` list, validated against the registry — an unknown
+/// name throws `std::invalid_argument` naming the valid choices.
+[[nodiscard]] std::vector<std::string> algos_from_cli(const CliParser& cli);
 
 }  // namespace bpm

@@ -43,10 +43,10 @@ TEST(Harness, RunnersReportOkAndConsistentCardinalities) {
   const BuiltInstance bi = build_instance(meta, tiny_options());
   device::Device dev({.mode = device::ExecMode::kConcurrent, .num_threads = 4});
 
-  const AlgoResult gpr = run_g_pr(dev, bi, gpu::GprOptions{});
-  const AlgoResult ghkdw = run_g_hkdw(dev, bi);
-  const AlgoResult pdbfs = run_p_dbfs(bi, 4);
-  const AlgoResult pr = run_seq_pr(bi);
+  const AlgoResult gpr = run_solver("g-pr-shr", dev, bi);
+  const AlgoResult ghkdw = run_solver("g-hkdw", dev, bi);
+  const AlgoResult pdbfs = run_solver("p-dbfs", dev, bi, 4);
+  const AlgoResult pr = run_solver("seq-pr", dev, bi);
 
   for (const AlgoResult& r : {gpr, ghkdw, pdbfs, pr}) {
     EXPECT_TRUE(r.ok);
@@ -101,8 +101,8 @@ TEST(Harness, ModeledTimeScalesWithInstanceSize) {
   // Sequential device: deterministic loop counts, so the comparison is
   // not subject to race-dependent variance.
   device::Device dev({.mode = device::ExecMode::kSequential});
-  const AlgoResult r_small = run_g_pr(dev, bi_small, gpu::GprOptions{});
-  const AlgoResult r_large = run_g_pr(dev, bi_large, gpu::GprOptions{});
+  const AlgoResult r_small = run_solver("g-pr-shr", dev, bi_small);
+  const AlgoResult r_large = run_solver("g-pr-shr", dev, bi_large);
   EXPECT_TRUE(r_small.ok);
   EXPECT_TRUE(r_large.ok);
   EXPECT_GT(r_large.modeled_seconds, r_small.modeled_seconds);

@@ -1,0 +1,218 @@
+// Batched matching pipeline (core/pipeline.hpp): (instance × solver) job
+// grids match single-run results, aggregate stats add up, verification
+// catches non-maximum results, and the shared init is built exactly once
+// per instance — including on a concurrent device.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "graph/generators.hpp"
+#include "matching/greedy.hpp"
+#include "matching/verify.hpp"
+
+namespace bpm {
+namespace {
+
+namespace gen = graph::gen;
+using graph::BipartiteGraph;
+using graph::index_t;
+
+std::vector<std::pair<std::string, BipartiteGraph>> suite() {
+  return {{"uniform", gen::random_uniform(400, 420, 2000, 5)},
+          {"planted", gen::planted_perfect(300, 2.0, 9)},
+          {"power-law", gen::chung_lu(500, 500, 4.0, 2.4, 21)}};
+}
+
+const std::vector<std::string> kSolvers = {"g-pr-shr", "hk", "p-dbfs",
+                                           "seq-pr"};
+
+TEST(Pipeline, RunsTheFullJobGridWithVerifiedResults) {
+  MatchingPipeline pipe({.device_mode = device::ExecMode::kConcurrent,
+                         .device_threads = 4,
+                         .solver_threads = 4});
+  for (auto& [name, g] : suite()) pipe.add_instance(name, std::move(g));
+  ASSERT_EQ(pipe.instances().size(), 3u);
+
+  const PipelineReport report = pipe.run(kSolvers);
+  EXPECT_TRUE(report.all_ok());
+  ASSERT_EQ(report.jobs.size(), 12u);  // 3 instances x 4 solvers
+  EXPECT_EQ(report.totals.jobs, 12u);
+  EXPECT_EQ(report.totals.failed, 0u);
+
+  // Instance-major order, every job maximum for its instance.
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    const PipelineJob& job = report.jobs[i];
+    EXPECT_EQ(job.instance, i / kSolvers.size());
+    EXPECT_EQ(job.solver, kSolvers[i % kSolvers.size()]);
+    EXPECT_TRUE(job.ok) << job.solver << ": " << job.error;
+    EXPECT_EQ(job.stats.cardinality,
+              pipe.instances()[job.instance].maximum_cardinality);
+  }
+}
+
+TEST(Pipeline, MatchesSingleRunResultsAndSharesTheGreedyInit) {
+  MatchingPipeline pipe({.device_threads = 2});
+  for (auto& [name, g] : suite()) pipe.add_instance(name, std::move(g));
+
+  for (const PipelineInstance& inst : pipe.instances()) {
+    // The shared init is the paper's cheap greedy matching, built once.
+    EXPECT_EQ(inst.initial_cardinality,
+              matching::cheap_matching(inst.graph).cardinality());
+    EXPECT_EQ(inst.init.cardinality(), inst.initial_cardinality);
+    // The reference ground truth agrees with the independent certificate.
+    EXPECT_EQ(inst.maximum_cardinality,
+              matching::reference_maximum_cardinality(inst.graph));
+  }
+
+  const PipelineReport report = pipe.run(kSolvers);
+  ASSERT_TRUE(report.all_ok());
+  // Each job's cardinality equals a direct single run of the same solver
+  // from the same shared init (all solvers are exact here, so equality of
+  // cardinality is the right notion of "matches single-run results").
+  device::Device dev({.mode = device::ExecMode::kConcurrent, .num_threads = 2});
+  const SolveContext ctx{.device = &dev, .threads = 2};
+  for (const PipelineJob& job : report.jobs) {
+    const PipelineInstance& inst = pipe.instances()[job.instance];
+    const SolveResult single = solve(job.solver, ctx, inst.graph, inst.init);
+    EXPECT_EQ(job.stats.cardinality, single.stats.cardinality)
+        << job.solver << " on " << inst.name;
+  }
+}
+
+TEST(Pipeline, TotalsAggregateThePerJobStats) {
+  MatchingPipeline pipe({.device_threads = 2});
+  for (auto& [name, g] : suite()) pipe.add_instance(name, std::move(g));
+  const PipelineReport report = pipe.run({"g-pr-shr", "g-hkdw", "pf"});
+
+  std::int64_t pairs = 0, launches = 0;
+  double wall = 0.0, modeled = 0.0;
+  for (const PipelineJob& job : report.jobs) {
+    pairs += job.stats.cardinality;
+    launches += job.stats.device_launches;
+    wall += job.stats.wall_ms;
+    modeled += job.stats.modeled_ms;
+  }
+  EXPECT_EQ(report.totals.matched_pairs, pairs);
+  EXPECT_EQ(report.totals.device_launches, launches);
+  EXPECT_DOUBLE_EQ(report.totals.wall_ms, wall);
+  EXPECT_DOUBLE_EQ(report.totals.modeled_ms, modeled);
+  EXPECT_GT(report.totals.device_launches, 0);  // two device solvers ran
+  EXPECT_GT(report.totals.modeled_ms, 0.0);
+}
+
+TEST(Pipeline, JobsForSelectsOneInstancesJobs) {
+  MatchingPipeline pipe;
+  for (auto& [name, g] : suite()) pipe.add_instance(name, std::move(g));
+  const PipelineReport report = pipe.run({"hk", "pf"});
+  const auto jobs = report.jobs_for(1);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0]->solver, "hk");
+  EXPECT_EQ(jobs[1]->solver, "pf");
+  for (const PipelineJob* job : jobs) EXPECT_EQ(job->instance, 1u);
+}
+
+TEST(Pipeline, HeuristicSolversVerifyAsValidNotMaximum) {
+  MatchingPipeline pipe;
+  // planted_perfect guarantees max = n; greedy from an empty init will not
+  // reach it on this graph shape, yet must still verify (valid and <= max).
+  pipe.add_instance("planted", gen::planted_perfect(300, 2.0, 9));
+  const PipelineReport report = pipe.run({"greedy", "karp-sipser"});
+  EXPECT_TRUE(report.all_ok());
+  for (const PipelineJob& job : report.jobs)
+    EXPECT_LE(job.stats.cardinality,
+              pipe.instances().front().maximum_cardinality);
+}
+
+TEST(Pipeline, RecordsFailuresInsteadOfAborting) {
+  // A deliberately broken solver: claims exactness, returns the init
+  // unchanged — verification must flag every job, not throw.
+  class NoopSolver final : public Solver {
+   public:
+    [[nodiscard]] std::string name() const override { return "test-noop"; }
+    [[nodiscard]] SolverCaps caps() const override { return {}; }
+    [[nodiscard]] SolveResult run(const SolveContext&,
+                                  const graph::BipartiteGraph&,
+                                  const matching::Matching& init) const override {
+      SolveResult out{init, {}};
+      out.stats.cardinality = init.cardinality();
+      return out;
+    }
+  };
+  static bool registered = [] {
+    SolverRegistry::instance().add(
+        "test-noop", [] { return std::make_unique<NoopSolver>(); });
+    return true;
+  }();
+  (void)registered;
+
+  MatchingPipeline pipe;
+  pipe.add_instance("uniform", gen::random_uniform(400, 420, 2000, 5));
+  const PipelineReport report = pipe.run({"test-noop", "hk"});
+  ASSERT_EQ(report.jobs.size(), 2u);
+  EXPECT_FALSE(report.all_ok());
+  EXPECT_EQ(report.totals.failed, 1u);
+  EXPECT_FALSE(report.jobs[0].ok);
+  EXPECT_NE(report.jobs[0].error.find("not maximum"), std::string::npos);
+  EXPECT_TRUE(report.jobs[1].ok);
+}
+
+TEST(Pipeline, UnknownSolverNameFailsTheWholeBatchUpFront) {
+  MatchingPipeline pipe;
+  pipe.add_instance("k44", gen::complete_bipartite(4, 4));
+  EXPECT_THROW((void)pipe.run({"hk", "no-such-solver"}),
+               std::invalid_argument);
+}
+
+TEST(Pipeline, InitBuilderAndNoShareInitAreHonoured) {
+  PipelineOptions ks;
+  ks.init_builder = matching::karp_sipser;
+  MatchingPipeline with_ks(ks);
+  const BipartiteGraph g = gen::chung_lu(500, 500, 4.0, 2.4, 21);
+  with_ks.add_instance("g", g);
+  EXPECT_EQ(with_ks.instances().front().initial_cardinality,
+            matching::karp_sipser(g).cardinality());
+
+  MatchingPipeline cold({.share_init = false});
+  cold.add_instance("g", g);
+  EXPECT_EQ(cold.instances().front().initial_cardinality, 0);
+  const PipelineReport report = cold.run({"hk"});
+  EXPECT_TRUE(report.all_ok());
+}
+
+TEST(Pipeline, VerifyOffSkipsGroundTruthAndAcceptsAnything) {
+  MatchingPipeline pipe({.verify = false});
+  pipe.add_instance("k44", gen::complete_bipartite(4, 4));
+  EXPECT_EQ(pipe.instances().front().maximum_cardinality, -1);
+  const PipelineReport report = pipe.run({"greedy"});
+  EXPECT_TRUE(report.all_ok());
+}
+
+// The acceptance scenario: a batch over a concurrent device agrees with a
+// sequential-device batch job for job — the paper's central claim (races
+// change schedules, never cardinalities) surfaced at the pipeline level.
+TEST(Pipeline, ConcurrentAndSequentialDevicesAgreeJobForJob) {
+  const std::vector<std::string> solvers = {"g-pr-shr", "g-pr-first",
+                                            "g-hkdw"};
+  MatchingPipeline concurrent({.device_mode = device::ExecMode::kConcurrent,
+                               .device_threads = 8});
+  MatchingPipeline sequential({.device_mode = device::ExecMode::kSequential});
+  for (auto& [name, g] : suite()) {
+    concurrent.add_instance(name, g);
+    sequential.add_instance(name, std::move(g));
+  }
+  const PipelineReport a = concurrent.run(solvers);
+  const PipelineReport b = sequential.run(solvers);
+  EXPECT_TRUE(a.all_ok());
+  EXPECT_TRUE(b.all_ok());
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i)
+    EXPECT_EQ(a.jobs[i].stats.cardinality, b.jobs[i].stats.cardinality)
+        << a.jobs[i].solver;
+}
+
+}  // namespace
+}  // namespace bpm
