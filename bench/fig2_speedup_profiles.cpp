@@ -34,8 +34,7 @@ int main(int argc, char** argv) {
       {.mode = device::ExecMode::kConcurrent, .num_threads = opt.threads});
   const auto baseline = SolverRegistry::instance().create("seq-pr");
   std::vector<std::unique_ptr<Solver>> solvers;
-  for (const auto& name : opt.algos)
-    solvers.push_back(SolverRegistry::instance().create(name));
+  for (const auto& spec : opt.algos) solvers.push_back(spec.instantiate());
 
   bool all_ok = true;
   std::vector<std::vector<double>> speedups(solvers.size());
@@ -49,7 +48,8 @@ int main(int argc, char** argv) {
       all_ok &= r.ok;
       speedups[i].push_back(pr.seconds / device_seconds(r, opt));
       if (opt.verbose)
-        std::cout << "  " << solvers[i]->name() << " x" << speedups[i].back();
+        std::cout << "  " << opt.algos[i].canonical() << " x"
+                  << speedups[i].back();
     }
     if (opt.verbose) std::cout << '\n';
   }
@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
   for (double x = 0.0; x <= 10.0; x += 0.5) xs.push_back(x);
 
   std::vector<std::string> headers{"x (speedup)"};
-  for (const auto& s : solvers) headers.push_back(s->name());
+  for (const auto& spec : opt.algos) headers.push_back(spec.canonical());
   Table table(std::move(headers), 3);
   std::vector<std::vector<ProfilePoint>> profiles;
   for (const auto& spd : speedups) profiles.push_back(speedup_profile(spd, xs));
@@ -82,7 +82,8 @@ int main(int argc, char** argv) {
   std::cout << "\nKey paper numbers (G-PR / G-HKDW / P-DBFS): P(>=5) was "
                "0.39 / 0.21 / 0.14 and P(>=1) for G-PR was 0.82.\nMeasured:";
   for (std::size_t i = 0; i < solvers.size(); ++i)
-    std::cout << "  " << solvers[i]->name() << " P(>=5)=" << frac_at(profiles[i], 5.0)
+    std::cout << "  " << opt.algos[i].canonical()
+              << " P(>=5)=" << frac_at(profiles[i], 5.0)
               << " P(>=1)=" << frac_at(profiles[i], 1.0);
   std::cout << "\n";
   return all_ok ? 0 : 1;

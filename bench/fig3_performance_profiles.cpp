@@ -33,9 +33,9 @@ int main(int argc, char** argv) {
       {.mode = device::ExecMode::kConcurrent, .num_threads = opt.threads});
   std::vector<std::unique_ptr<Solver>> solvers;
   std::vector<std::string> names;
-  for (const auto& name : opt.algos) {
-    solvers.push_back(SolverRegistry::instance().create(name));
-    names.push_back(name);
+  for (const auto& spec : opt.algos) {
+    solvers.push_back(spec.instantiate());
+    names.push_back(spec.canonical());
   }
 
   bool all_ok = true;

@@ -21,10 +21,11 @@ void register_suite_flags(CliParser& cli, int default_stride,
   cli.add_flag("no-model",
                "report raw simulator wall time for GPU algorithms instead "
                "of modeled C2050 device time");
-  if (!default_algos.empty()) add_algo_option(cli, default_algos);
+  if (!default_algos.empty()) add_algo_flag(cli, default_algos);
 }
 
 SuiteOptions suite_options_from_cli(const CliParser& cli) {
+  exit_if_list_algos(cli);
   SuiteOptions opt;
   opt.scale = cli.get_double("scale");
   opt.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
@@ -33,7 +34,7 @@ SuiteOptions suite_options_from_cli(const CliParser& cli) {
   opt.verbose = cli.get_flag("verbose");
   opt.csv = cli.get_flag("csv");
   opt.no_model = cli.get_flag("no-model");
-  if (cli.has("algo")) opt.algos = algos_from_cli(cli);
+  if (cli.has("algo")) opt.algos = solver_specs_from_cli(cli);
   return opt;
 }
 

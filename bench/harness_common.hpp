@@ -24,9 +24,11 @@ struct SuiteOptions {
   /// C2050 device time for GPU algorithms by default (DESIGN.md D9);
   /// --no-model switches them to raw host wall time of the simulator.
   bool no_model = false;
-  /// Solvers selected with --algo (registry names), when the harness
-  /// registered the flag.
-  std::vector<std::string> algos;
+  /// Solvers selected with --algo (parsed specs, possibly with tuning
+  /// options, e.g. `g-pr-shr:k=1.5`), when the harness registered the
+  /// flag.  Instantiate with `spec.instantiate()`; label columns with
+  /// `spec.canonical()` so tuned runs are distinguishable.
+  std::vector<SolverSpec> algos;
 };
 
 /// Registers the shared flags on `cli`; call `cli.parse` afterwards and

@@ -24,8 +24,14 @@ int main(int argc, char** argv) {
                 "Table I: instance statistics and per-solver runtimes");
   register_suite_flags(cli, /*default_stride=*/1,
                        /*default_algos=*/"g-pr-shr,g-hkdw,p-dbfs,seq-pr");
-  cli.parse(argc, argv);
-  const SuiteOptions opt = suite_options_from_cli(cli);
+  SuiteOptions opt;
+  try {
+    cli.parse(argc, argv);
+    opt = suite_options_from_cli(cli);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
 
   const auto suite = build_suite(opt);
   print_header("Table I — per-graph solver runtimes", opt, suite.size());
@@ -33,13 +39,12 @@ int main(int argc, char** argv) {
   device::Device dev(
       {.mode = device::ExecMode::kConcurrent, .num_threads = opt.threads});
   std::vector<std::unique_ptr<Solver>> solvers;
-  for (const auto& name : opt.algos)
-    solvers.push_back(SolverRegistry::instance().create(name));
+  for (const auto& spec : opt.algos) solvers.push_back(spec.instantiate());
 
   bool all_ok = true;
   std::vector<std::string> headers{"id", "graph", "rows", "cols", "edges",
                                    "IM", "MM"};
-  for (const auto& s : solvers) headers.push_back(s->name());
+  for (const auto& spec : opt.algos) headers.push_back(spec.canonical());
   Table table(std::move(headers), 3);
 
   std::vector<std::vector<double>> times(solvers.size());

@@ -46,6 +46,7 @@ PipelineOptions pipeline_options(const CliParser& cli) {
   PipelineOptions opt;
   opt.device_threads = static_cast<unsigned>(cli.get_int("threads"));
   opt.solver_threads = opt.device_threads;
+  opt.max_concurrent_jobs = static_cast<unsigned>(cli.get_int("jobs"));
   const std::string init = cli.get_string("init");
   if (init == "cheap") {
     // Default init_builder.
@@ -66,7 +67,7 @@ int main(int argc, char** argv) {
   CliParser cli("mtx_matcher",
                 "maximum cardinality bipartite matching of a MatrixMarket "
                 "file or synthetic instance");
-  add_algo_option(cli, "g-pr-shr");
+  add_algo_flag(cli, "g-pr-shr");
   cli.add_option("init", "initial matching: cheap | karp-sipser | none",
                  "cheap");
   cli.add_option("instance", "synthetic Table I instance name instead of a file",
@@ -74,6 +75,8 @@ int main(int argc, char** argv) {
   cli.add_option("scale", "scale for --instance", "0.015625");
   cli.add_option("seed", "seed for --instance", "1");
   cli.add_option("threads", "device/multicore threads (0 = hardware)", "0");
+  cli.add_option("jobs", "concurrent (instance x solver) jobs, one device "
+                 "stream each (0 = hardware)", "0");
   cli.add_option("k",
                  "global-relabel frequency parameter (empty = each solver's "
                  "own default)",
@@ -82,8 +85,9 @@ int main(int argc, char** argv) {
 
   try {
     cli.parse(argc, argv);
+    exit_if_list_algos(cli);
     const bool quiet = cli.get_flag("quiet");
-    const std::vector<std::string> algos = algos_from_cli(cli);
+    const std::vector<SolverSpec> specs = solver_specs_from_cli(cli);
 
     MatchingPipeline pipeline(pipeline_options(cli));
     const std::string name = cli.positional().empty()
@@ -98,10 +102,11 @@ int main(int argc, char** argv) {
 
     // An explicit --k applies to every selected solver that understands it
     // (set_option returns false on the rest); left empty, each solver
-    // keeps its own paper-tuned default.
+    // keeps its own spec or paper-tuned default.  Per-solver tuning goes
+    // in the spec itself: --algo g-pr-shr:k=1.5,hk.
     std::vector<std::unique_ptr<Solver>> solvers;
-    for (const std::string& algo : algos) {
-      solvers.push_back(SolverRegistry::instance().create(algo));
+    for (const SolverSpec& spec : specs) {
+      solvers.push_back(spec.instantiate());
       if (!cli.get_string("k").empty())
         solvers.back()->set_option("k", cli.get_string("k"));
     }
@@ -112,8 +117,11 @@ int main(int argc, char** argv) {
         std::cout << job.stats.cardinality << "\n";
         continue;
       }
-      std::cout << job.solver << ": " << job.stats.cardinality << " in "
-                << job.stats.wall_ms << " ms";
+      std::cout << job.solver << ": " << job.stats.cardinality;
+      if (job.cached)
+        std::cout << " (cached)";
+      else
+        std::cout << " in " << job.stats.wall_ms << " ms";
       if (job.stats.modeled_ms > 0.0)
         std::cout << " (modeled " << job.stats.modeled_ms
                   << " ms on a C2050-class GPU)";
@@ -128,9 +136,15 @@ int main(int argc, char** argv) {
                 << report.totals.jobs << " jobs)\n";
       return 2;
     }
-    if (!quiet)
+    if (!quiet) {
+      // batch_wall_ms is the caller's wait; wall_ms sums the per-job
+      // solver costs — with concurrent jobs or cache hits they differ.
       std::cout << "verified: " << report.totals.jobs
-                << " job(s) valid and maximum (Berge/reference)\n";
+                << " job(s) valid and maximum (Berge/reference)\n"
+                << "batch: " << report.totals.batch_wall_ms << " ms wall ("
+                << report.totals.wall_ms << " ms of solver time, "
+                << report.totals.cache_hits << " cache hit(s))\n";
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -247,15 +247,19 @@ void run_active_list(device::Device& dev, const BipartiteGraph& g,
         if (v_prev != -1 && is_active_column(st, v_prev)) return v_prev;
         return ac.load(static_cast<std::size_t>(i));
       };
-      std::vector<std::int64_t> counts(dev.num_workers() + 1, 0);
+      // Padded per-worker tallies: adjacent int64 slots would share cache
+      // lines across the concurrently-writing workers.
+      std::vector<device::PaddedCount> tallies(dev.num_workers());
       dev.launch_chunked(len, [&](unsigned w, std::int64_t begin,
                                   std::int64_t end) {
         std::int64_t count = 0;
         for (std::int64_t i = begin; i < end; ++i)
           if (resolve(i) != -1) ++count;
-        counts[w + 1] = count;
+        tallies[w].value = count;
       });
-      for (std::size_t w = 1; w < counts.size(); ++w) counts[w] += counts[w - 1];
+      std::vector<std::int64_t> counts(dev.num_workers() + 1, 0);
+      for (std::size_t w = 0; w < tallies.size(); ++w)
+        counts[w + 1] = counts[w] + tallies[w].value;
       const std::int64_t total = counts.back();
 
       device::relaxed_vector<index_t> compacted(

@@ -14,11 +14,20 @@
 namespace bpm {
 
 struct PipelineOptions {
-  /// Execution mode of the pipeline's shared device (used by every
+  /// Execution mode of the pipeline's shared device engine (used by every
   /// needs-device solver in the batch).
   device::ExecMode device_mode = device::ExecMode::kConcurrent;
   unsigned device_threads = 0;  ///< device pool workers (0 = hardware)
   unsigned solver_threads = 0;  ///< multicore solver workers (0 = hardware)
+  /// Upper bound on (instance × solver) jobs in flight at once, each on
+  /// its own device stream (0 = hardware concurrency).  1 reproduces the
+  /// sequential schedule exactly; the report order is identical either
+  /// way.
+  unsigned max_concurrent_jobs = 0;
+  /// Serve a job whose (instance fingerprint, solver spec) pair already
+  /// occurred earlier in the batch from that job's result instead of
+  /// re-solving; hits are flagged on the job and counted in the totals.
+  bool cache_results = true;
   /// Check every job's matching: edge-validity plus maximality against the
   /// per-instance reference cardinality (heuristic solvers are only
   /// required to be valid and ≤ maximum).
@@ -41,6 +50,10 @@ struct PipelineInstance {
   /// Reference maximum cardinality (computed once when verify is on;
   /// -1 when verification is disabled).
   graph::index_t maximum_cardinality = -1;
+  /// Structural hash of the graph (dimensions + CSR arrays): two admitted
+  /// instances with equal fingerprints are the same graph, which is what
+  /// keys the result cache.
+  std::uint64_t fingerprint = 0;
 };
 
 /// Outcome of one (instance × solver) job.
@@ -49,16 +62,24 @@ struct PipelineJob {
   std::string solver;
   SolveStats stats;
   bool ok = false;     ///< ran to completion and passed verification
+  bool cached = false; ///< served from an earlier identical job; wall/model
+                       ///< time and launches are not re-charged
   std::string error;   ///< why not, when !ok
 };
 
 struct PipelineTotals {
   std::size_t jobs = 0;
   std::size_t failed = 0;
+  std::size_t cache_hits = 0;      ///< jobs served without re-solving
   std::int64_t matched_pairs = 0;  ///< sum of job cardinalities
   std::int64_t device_launches = 0;
-  double wall_ms = 0.0;     ///< sum of per-job wall times
+  double wall_ms = 0.0;     ///< sum of per-job wall times (solver cost)
   double modeled_ms = 0.0;  ///< sum of modeled device times
+  /// Wall time of the whole batch, scheduler included.  With concurrent
+  /// jobs this is below `wall_ms` (jobs overlap); do not conflate the two:
+  /// `wall_ms` answers "how much solver work ran", `batch_wall_ms` answers
+  /// "how long did the caller wait".
+  double batch_wall_ms = 0.0;
 };
 
 struct PipelineReport {
@@ -72,18 +93,28 @@ struct PipelineReport {
       std::size_t instance) const;
 };
 
-/// Batched matching runs: many instances × many solvers through one shared
-/// device, with per-instance init reuse and per-job verification.  This is
-/// the serving-layer seed: admit work with `add_instance`, then execute a
-/// solver set over the whole batch with `run` — any registry name works,
-/// including solvers registered after this library was built.
+/// Batched matching runs: many instances × many solvers scheduled
+/// concurrently over the streams of one shared device engine, with
+/// per-instance init reuse, a result cache, and per-job verification.
+/// This is the serving layer: admit work with `add_instance`, then execute
+/// a solver set over the whole batch with `run` — any registry name or
+/// tuned spec (`g-pr-shr:k=1.5`) works, including solvers registered after
+/// this library was built.
+///
+/// Jobs are pulled from a shared worklist by `max_concurrent_jobs`
+/// scheduler threads, each running on its own device stream; the report is
+/// always in deterministic instance-major order regardless of how the jobs
+/// interleaved, and cache hits resolve to the earliest identical job in
+/// that order, so a concurrent batch reports exactly what the sequential
+/// schedule would.
 ///
 /// ```
-/// MatchingPipeline pipe;
+/// MatchingPipeline pipe({.max_concurrent_jobs = 4});
 /// pipe.add_instance("a", graph_a);
 /// pipe.add_instance("b", graph_b);
-/// PipelineReport rep = pipe.run({"g-pr-shr", "hk", "p-dbfs"});
-/// // rep.jobs: 6 verified results; rep.totals: aggregate stats.
+/// PipelineReport rep = pipe.run({"g-pr-shr:k=1.5", "hk", "p-dbfs"});
+/// // rep.jobs: 6 verified results; rep.totals: aggregate stats, including
+/// // batch_wall_ms (caller wait) vs wall_ms (summed solver cost).
 /// ```
 class MatchingPipeline {
  public:
@@ -98,22 +129,48 @@ class MatchingPipeline {
     return instances_;
   }
 
-  /// Runs every solver in `solver_names` (registry names) on every admitted
-  /// instance.  A job that throws or fails verification is recorded with
-  /// `ok == false` and does not abort the batch.
+  /// Runs every solver in `solver_specs` on every admitted instance.  Each
+  /// entry is a registry name or a tuned spec (`SolverSpec` grammar); a
+  /// job that throws or fails verification is recorded with `ok == false`
+  /// and does not abort the batch.
   [[nodiscard]] PipelineReport run(
-      const std::vector<std::string>& solver_names);
+      const std::vector<std::string>& solver_specs);
+
+  /// Same, over parsed specs.
+  [[nodiscard]] PipelineReport run_specs(const std::vector<SolverSpec>& specs);
 
   /// Same, over caller-configured solver instances (e.g. after
-  /// `set_option` tuning that plain registry names cannot express).
+  /// `set_option` tuning that the spec grammar cannot express).  Cache
+  /// hits only occur between jobs of the *same* solver object, since two
+  /// objects with one name may be tuned differently.
   [[nodiscard]] PipelineReport run_with(
       const std::vector<std::unique_ptr<Solver>>& solvers);
 
-  /// The shared device (e.g. to reconfigure the model between runs).
+  /// Reschedule knob for sweeps: change the concurrency bound between
+  /// runs without re-admitting instances.
+  void set_max_concurrent_jobs(unsigned n) { options_.max_concurrent_jobs = n; }
+
+  /// The engine whose streams execute the batch's device jobs.
+  [[nodiscard]] const std::shared_ptr<device::Engine>& engine() const {
+    return engine_;
+  }
+
+  /// The pipeline's primary device stream (e.g. for one-off runs outside
+  /// the batch); per-job streams share its engine, not its counters.
   [[nodiscard]] device::Device& device() { return device_; }
 
  private:
+  struct JobSpec {
+    const Solver* solver;
+    std::string label;      ///< reported as PipelineJob::solver (canonical
+                            ///< spec, so tuned variants are tellable apart)
+    std::string cache_key;  ///< identity of the solver's configuration
+  };
+
+  [[nodiscard]] PipelineReport run_jobs(const std::vector<JobSpec>& solvers);
+
   PipelineOptions options_;
+  std::shared_ptr<device::Engine> engine_;
   device::Device device_;
   std::vector<PipelineInstance> instances_;
 };

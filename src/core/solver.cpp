@@ -313,6 +313,99 @@ class GreedySolver final : public Solver {
 
 bool Solver::set_option(std::string_view, std::string_view) { return false; }
 
+// ---- SolverSpec ------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void malformed_spec(std::string_view spec,
+                                 const std::string& why) {
+  throw std::invalid_argument(
+      "malformed solver spec '" + std::string(spec) + "': " + why +
+      " (want name or name:key=val,key=val; have: " +
+      SolverRegistry::instance().names_csv() + ")");
+}
+
+std::pair<std::string, std::string> parse_option(std::string_view spec,
+                                                 std::string_view token) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string_view::npos)
+    malformed_spec(spec, "option '" + std::string(token) + "' has no '='");
+  if (eq == 0) malformed_spec(spec, "option with empty key");
+  return {std::string(token.substr(0, eq)), std::string(token.substr(eq + 1))};
+}
+
+}  // namespace
+
+SolverSpec SolverSpec::parse(std::string_view spec) {
+  SolverSpec out;
+  const std::size_t colon = spec.find(':');
+  out.name = std::string(spec.substr(0, colon));
+  if (out.name.empty()) malformed_spec(spec, "empty solver name");
+  if (out.name.find('=') != std::string::npos)
+    malformed_spec(spec, "option '" + out.name + "' without a solver name");
+  if (colon == std::string_view::npos) return out;
+  std::string_view rest = spec.substr(colon + 1);
+  if (rest.empty()) malformed_spec(spec, "':' with no options after it");
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view token = rest.substr(0, comma);
+    if (token.empty()) malformed_spec(spec, "empty option");
+    out.options.push_back(parse_option(spec, token));
+    if (comma == std::string_view::npos) break;
+    rest = rest.substr(comma + 1);
+    if (rest.empty()) malformed_spec(spec, "trailing ','");
+  }
+  return out;
+}
+
+std::vector<SolverSpec> SolverSpec::parse_list(std::string_view list) {
+  std::vector<SolverSpec> out;
+  std::string_view rest = list;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view token = rest.substr(0, comma);
+    // A bare key=val token (no ':') continues the previous spec's options;
+    // anything else opens a new spec.
+    if (token.empty()) {
+      malformed_spec(list, "empty solver spec (doubled or trailing ','?)");
+    } else if (token.find(':') == std::string_view::npos &&
+               token.find('=') != std::string_view::npos) {
+      if (out.empty())
+        malformed_spec(list, "option '" + std::string(token) +
+                                 "' before any solver name");
+      out.back().options.push_back(parse_option(list, token));
+    } else {
+      out.push_back(parse(token));
+    }
+    if (comma == std::string_view::npos) break;
+    rest = rest.substr(comma + 1);
+    if (rest.empty()) malformed_spec(list, "trailing ','");
+  }
+  return out;
+}
+
+std::string SolverSpec::canonical() const {
+  std::string out = name;
+  auto sorted = options;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    out += i == 0 ? ':' : ',';
+    out += sorted[i].first + "=" + sorted[i].second;
+  }
+  return out;
+}
+
+std::unique_ptr<Solver> SolverSpec::instantiate() const {
+  std::unique_ptr<Solver> solver = SolverRegistry::instance().create(name);
+  for (const auto& [key, value] : options)
+    if (!solver->set_option(key, value))
+      throw std::invalid_argument("solver '" + name +
+                                  "' does not understand option '" + key +
+                                  "' (in spec '" + canonical() + "')");
+  return solver;
+}
+
 SolverRegistry::SolverRegistry() {
   add("g-pr-shr", [] {
     return std::make_unique<GprSolver>("g-pr-shr", gpu::GprVariant::kShrink);
@@ -377,6 +470,11 @@ std::vector<std::string> SolverRegistry::names() const {
   out.reserve(factories_.size());
   for (const auto& [name, factory] : factories_) out.push_back(name);
   return out;  // std::map iteration is already sorted
+}
+
+std::vector<std::pair<std::string, std::string>> SolverRegistry::alias_list()
+    const {
+  return {aliases_.begin(), aliases_.end()};  // std::map: sorted by alias
 }
 
 std::string SolverRegistry::names_csv() const {

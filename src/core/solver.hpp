@@ -84,6 +84,36 @@ class Solver {
                                         const matching::Matching& init) const = 0;
 };
 
+/// A parsed solver specification: a registry name plus `set_option`
+/// key/value pairs, written `name:key=val,key=val` (e.g. `g-pr-shr:k=1.5`).
+/// This is the one grammar every CLI surface (`--algo`), the pipeline, and
+/// saved experiment configs use to express a *tuned* solver, so sweeps can
+/// select non-default knobs without code changes.
+struct SolverSpec {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> options;
+
+  /// Parses one spec.  Throws `std::invalid_argument` (naming the grammar
+  /// and the registered solvers) on malformed input; the name itself is
+  /// validated later, by `instantiate`.
+  [[nodiscard]] static SolverSpec parse(std::string_view spec);
+
+  /// Parses a comma-separated spec list.  A `key=val` token continues the
+  /// preceding spec's options, so `g-pr-shr:k=1.5,strategy=fix,hk` is two
+  /// specs: a tuned g-pr-shr and a default hk.
+  [[nodiscard]] static std::vector<SolverSpec> parse_list(
+      std::string_view list);
+
+  /// The spec back as a string, options sorted by key — a stable identity
+  /// for cache keys, report headers, and round-tripping.
+  [[nodiscard]] std::string canonical() const;
+
+  /// `SolverRegistry::create(name)` plus `set_option` for every pair.
+  /// Throws `std::invalid_argument` for an unknown name (listing the
+  /// registry), an unknown option key, or a malformed option value.
+  [[nodiscard]] std::unique_ptr<Solver> instantiate() const;
+};
+
 /// Name → factory table of every matching algorithm in the library.
 ///
 /// `instance()` arrives pre-populated with the built-in solvers; callers
@@ -115,6 +145,10 @@ class SolverRegistry {
 
   /// Canonical names, sorted.
   [[nodiscard]] std::vector<std::string> names() const;
+
+  /// (alias, canonical) pairs, sorted by alias — for `--list-algos`.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> alias_list()
+      const;
 
   /// names() joined with ", " — for --help strings and error messages.
   [[nodiscard]] std::string names_csv() const;

@@ -2,9 +2,9 @@
 
 namespace bpm::device {
 
-Device::Device(DeviceOptions options) : options_(options) {
-  if (options_.mode == ExecMode::kConcurrent)
-    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+Engine::Engine(ExecMode mode, unsigned num_threads) : mode_(mode) {
+  if (mode_ == ExecMode::kConcurrent)
+    pool_ = std::make_unique<ThreadPool>(num_threads);
 }
 
 }  // namespace bpm::device

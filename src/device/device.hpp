@@ -57,34 +57,82 @@ struct DeviceOptions {
   DeviceModel model;
 };
 
-/// A CUDA-style bulk-synchronous execution engine on host threads.
+/// A `std::int64_t` padded to its own cache line.  Per-slot accumulators
+/// written concurrently by different workers (launch_accounted's work
+/// tallies, the shrink kernel's per-worker counts) must not share lines,
+/// or every increment ping-pongs the line between cores.
+struct alignas(64) PaddedCount {
+  std::int64_t value = 0;
+};
+
+/// The shared execution backend of a device: the worker pool and the
+/// execution mode.  One engine is created per simulated GPU; any number of
+/// `Device` streams borrow its workers concurrently.  The engine itself is
+/// stateless per launch — all launch counting and time modeling lives in
+/// the streams — so sharing it never mixes two streams' stats.
+class Engine {
+ public:
+  explicit Engine(ExecMode mode = ExecMode::kConcurrent,
+                  unsigned num_threads = 0);
+
+  [[nodiscard]] ExecMode mode() const { return mode_; }
+  [[nodiscard]] unsigned num_workers() const {
+    return pool_ ? pool_->size() : 1;
+  }
+  [[nodiscard]] ThreadPool* pool() { return pool_.get(); }
+
+ private:
+  ExecMode mode_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+/// A CUDA-style bulk-synchronous execution stream on host threads.
 ///
 /// `launch(n, kernel)` models one kernel launch over a grid of `n` logical
 /// threads: `kernel(i)` runs for every `i` in `[0, n)`, concurrently and in
 /// no particular order; the call returns only after all of them finish
 /// (stream-order barrier).  Logical threads are statically partitioned
-/// into contiguous chunks over the pool workers, mirroring how the paper
-/// maps columns/rows to CUDA threads.
+/// into contiguous chunks over the engine's workers, mirroring how the
+/// paper maps columns/rows to CUDA threads.
+///
+/// A `Device` is a *stream* over a shared `Engine`: it owns its launch
+/// counter and modeled-time accumulator but borrows the engine's worker
+/// pool, so N streams can run N jobs concurrently without corrupting each
+/// other's stats — the host-thread analogue of CUDA streams.  The
+/// single-argument constructor keeps the original one-device-one-engine
+/// behaviour for code that needs no cross-job concurrency.
 ///
 /// `launch_chunked` exposes the partition itself — kernels like
 /// G-PR-SHRKRNL need per-physical-thread counting followed by a prefix sum
-/// over the thread-private counts (paper §III-C2).
+/// over the thread-private counts (paper §III-C2).  The `worker` argument
+/// is the chunk slot, unique within the launch.
 ///
-/// The engine counts launches: the paper's global-relabeling policies are
+/// Streams count launches: the paper's global-relabeling policies are
 /// expressed in units of push-kernel executions, and the experiment
 /// harnesses report launch totals.
 class Device {
  public:
-  explicit Device(DeviceOptions options = {});
+  /// A device with its own private engine (the pre-stream behaviour).
+  explicit Device(DeviceOptions options = {})
+      : engine_(std::make_shared<Engine>(options.mode, options.num_threads)),
+        model_(options.model) {}
 
-  [[nodiscard]] ExecMode mode() const { return options_.mode; }
-  [[nodiscard]] unsigned num_workers() const { return pool_ ? pool_->size() : 1; }
+  /// A stream on `engine`: borrowed workers, own stats.
+  explicit Device(std::shared_ptr<Engine> engine, DeviceModel model = {})
+      : engine_(std::move(engine)), model_(model) {}
+
+  [[nodiscard]] const std::shared_ptr<Engine>& engine() const {
+    return engine_;
+  }
+  [[nodiscard]] ExecMode mode() const { return engine_->mode(); }
+  [[nodiscard]] unsigned num_workers() const { return engine_->num_workers(); }
   [[nodiscard]] std::uint64_t launches() const { return launches_; }
   void reset_launch_count() { launches_ = 0; }
 
-  /// Modeled device time accumulated so far (see DeviceModel).  Kernels
-  /// that report their work via `launch_accounted` contribute their work
-  /// term; plain launches contribute latency + per-item cost only.
+  /// Modeled device time accumulated on this stream (see DeviceModel).
+  /// Kernels that report their work via `launch_accounted` contribute
+  /// their work term; plain launches contribute latency + per-item cost
+  /// only.
   [[nodiscard]] double modeled_ms() const { return modeled_us_ / 1e3; }
   void reset_modeled_time() { modeled_us_ = 0.0; }
 
@@ -92,7 +140,7 @@ class Device {
   /// work is easier to tally host-side (e.g. the shrink compaction's two
   /// resolve passes).
   void charge_work(std::int64_t work) {
-    modeled_us_ += static_cast<double>(work) * options_.model.ns_per_work * 1e-3;
+    modeled_us_ += static_cast<double>(work) * model_.ns_per_work * 1e-3;
   }
 
   /// One kernel launch: `kernel(i)` for all i in [0, n).
@@ -101,7 +149,7 @@ class Device {
     ++launches_;
     account(n, 0);
     if (n <= 0) return;
-    if (options_.mode == ExecMode::kSequential || num_workers() == 1) {
+    if (mode() == ExecMode::kSequential || num_workers() == 1) {
       for (std::int64_t i = 0; i < n; ++i) kernel(i);
       return;
     }
@@ -110,7 +158,7 @@ class Device {
       const auto [begin, end] = chunk(n, workers, w);
       for (std::int64_t i = begin; i < end; ++i) kernel(i);
     };
-    pool_->run_on_all(job);
+    engine_->pool()->run_tasks(num_workers(), job);
   }
 
   /// Like `launch`, but the kernel returns its work units (e.g. adjacency
@@ -122,23 +170,23 @@ class Device {
       account(n, 0);
       return;
     }
-    if (options_.mode == ExecMode::kSequential || num_workers() == 1) {
+    if (mode() == ExecMode::kSequential || num_workers() == 1) {
       std::int64_t work = 0;
       for (std::int64_t i = 0; i < n; ++i) work += kernel(i);
       account(n, work);
       return;
     }
     const auto workers = static_cast<std::int64_t>(num_workers());
-    std::vector<std::int64_t> per_worker(num_workers(), 0);
+    std::vector<PaddedCount> per_worker(num_workers());
     const std::function<void(unsigned)> job = [&](unsigned w) {
       const auto [begin, end] = chunk(n, workers, w);
       std::int64_t work = 0;
       for (std::int64_t i = begin; i < end; ++i) work += kernel(i);
-      per_worker[w] = work;
+      per_worker[w].value = work;
     };
-    pool_->run_on_all(job);
+    engine_->pool()->run_tasks(num_workers(), job);
     std::int64_t work = 0;
-    for (std::int64_t w : per_worker) work += w;
+    for (const PaddedCount& w : per_worker) work += w.value;
     account(n, work);
   }
 
@@ -149,7 +197,7 @@ class Device {
   void launch_chunked(std::int64_t n, Kernel&& kernel) {
     ++launches_;
     if (n <= 0) return;
-    if (options_.mode == ExecMode::kSequential || num_workers() == 1) {
+    if (mode() == ExecMode::kSequential || num_workers() == 1) {
       kernel(0u, std::int64_t{0}, n);
       return;
     }
@@ -158,16 +206,15 @@ class Device {
       const auto [begin, end] = chunk(n, workers, w);
       kernel(w, begin, end);
     };
-    pool_->run_on_all(job);
+    engine_->pool()->run_tasks(num_workers(), job);
   }
 
  private:
   void account(std::int64_t items, std::int64_t work) {
-    const DeviceModel& m = options_.model;
-    modeled_us_ += m.launch_latency_us +
+    modeled_us_ += model_.launch_latency_us +
                    (static_cast<double>(std::max<std::int64_t>(items, 0)) *
-                        m.ns_per_item +
-                    static_cast<double>(work) * m.ns_per_work) *
+                        model_.ns_per_item +
+                    static_cast<double>(work) * model_.ns_per_work) *
                        1e-3;
   }
 
@@ -182,8 +229,8 @@ class Device {
     return {begin, end};
   }
 
-  DeviceOptions options_;
-  std::unique_ptr<ThreadPool> pool_;
+  std::shared_ptr<Engine> engine_;
+  DeviceModel model_;
   std::uint64_t launches_ = 0;
   double modeled_us_ = 0.0;
 };

@@ -120,24 +120,45 @@ std::vector<std::string> CliParser::get_string_list(
   return out;
 }
 
-void add_algo_option(CliParser& cli, const std::string& default_value) {
+void add_algo_flag(CliParser& cli, const std::string& default_value) {
   cli.add_option("algo",
-                 "comma-separated solver names (" +
+                 "comma-separated solver specs, name[:key=val,key=val] — "
+                 "e.g. g-pr-shr:k=1.5,hk (names: " +
                      SolverRegistry::instance().names_csv() + ")",
                  default_value);
+  cli.add_flag("list-algos",
+               "print the registered solvers with their capabilities and "
+               "exit");
 }
 
-std::vector<std::string> algos_from_cli(const CliParser& cli) {
-  std::vector<std::string> algos = cli.get_string_list("algo");
-  if (algos.empty())
-    throw std::invalid_argument("--algo needs at least one solver name (" +
+std::vector<SolverSpec> solver_specs_from_cli(const CliParser& cli) {
+  std::vector<SolverSpec> specs =
+      SolverSpec::parse_list(cli.get_string("algo"));
+  if (specs.empty())
+    throw std::invalid_argument("--algo needs at least one solver spec (" +
                                 SolverRegistry::instance().names_csv() + ")");
-  for (const std::string& name : algos)
-    if (!SolverRegistry::instance().contains(name))
-      throw std::invalid_argument("--algo: unknown solver '" + name +
-                                  "' (have: " +
-                                  SolverRegistry::instance().names_csv() + ")");
-  return algos;
+  // Validate names and options now — a typo should fail before the harness
+  // spends minutes building its instance suite.
+  for (const SolverSpec& spec : specs) (void)spec.instantiate();
+  return specs;
+}
+
+void exit_if_list_algos(const CliParser& cli) {
+  if (!cli.has("list-algos") || !cli.get_flag("list-algos")) return;
+  const SolverRegistry& registry = SolverRegistry::instance();
+  std::cout << "name         device  multicore  deterministic  exact\n";
+  for (const std::string& name : registry.names()) {
+    const SolverCaps caps = registry.create(name)->caps();
+    const auto yn = [](bool b) { return b ? "yes" : "no "; };
+    std::cout << name << std::string(name.size() < 13 ? 13 - name.size() : 1, ' ')
+              << yn(caps.needs_device) << "     " << yn(caps.multicore)
+              << "        " << yn(caps.deterministic) << "            "
+              << yn(caps.exact) << "\n";
+  }
+  for (const auto& [alias, canonical] : registry.alias_list())
+    std::cout << "alias: " << alias << " -> " << canonical << "\n";
+  std::cout << "spec syntax: name[:key=val,key=val], e.g. g-pr-shr:k=1.5\n";
+  std::exit(0);
 }
 
 std::string CliParser::usage() const {

@@ -76,12 +76,24 @@ class CliParser {
   std::vector<std::string> positional_;
 };
 
-/// Registers `--algo <name,name,...>` selecting solvers by their
-/// `SolverRegistry` names; the help text lists every registered name.
-void add_algo_option(CliParser& cli, const std::string& default_value);
+// Forward declaration (core/solver.hpp); cli.cpp provides the definitions.
+struct SolverSpec;
 
-/// The parsed `--algo` list, validated against the registry — an unknown
-/// name throws `std::invalid_argument` naming the valid choices.
-[[nodiscard]] std::vector<std::string> algos_from_cli(const CliParser& cli);
+/// Registers `--algo <spec,spec,...>` selecting solvers by `SolverSpec`
+/// grammar — registry names with optional tuning options, e.g.
+/// `g-pr-shr:k=1.5,hk` — plus the `--list-algos` flag that prints every
+/// registered solver with its capabilities and exits.
+void add_algo_flag(CliParser& cli, const std::string& default_value);
+
+/// The parsed `--algo` spec list, validated against the registry — an
+/// unknown name, unknown option, or malformed spec throws
+/// `std::invalid_argument` naming the valid choices.
+[[nodiscard]] std::vector<SolverSpec> solver_specs_from_cli(
+    const CliParser& cli);
+
+/// If `--list-algos` was registered (see `add_algo_flag`) and passed,
+/// prints the registry — names, `SolverCaps` columns, aliases — and exits
+/// with status 0.  Call right after `parse`.
+void exit_if_list_algos(const CliParser& cli);
 
 }  // namespace bpm

@@ -42,6 +42,35 @@ TEST(ThreadPool, DefaultSizeIsHardware) {
   EXPECT_GE(pool.size(), 1u);
 }
 
+TEST(ThreadPool, RunTasksCoversEverySlotExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(17);
+  pool.run_tasks(17, [&](unsigned slot) { hits[slot].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ConcurrentBatchesFromManyStreamsAllComplete) {
+  // The stream scenario: several host threads submit batches to one pool
+  // at once; every batch's slots must run exactly once and every caller
+  // must see its own batch's writes after the join.
+  ThreadPool pool(4);
+  constexpr int kStreams = 6, kLaunches = 50, kSlots = 8;
+  std::vector<std::thread> streams;
+  std::vector<std::atomic<int>> totals(kStreams);
+  for (int s = 0; s < kStreams; ++s)
+    streams.emplace_back([&, s] {
+      for (int l = 0; l < kLaunches; ++l) {
+        std::vector<int> hits(kSlots, 0);  // plain ints: join orders writes
+        pool.run_tasks(kSlots, [&](unsigned slot) { hits[slot] += 1; });
+        int sum = 0;
+        for (int h : hits) sum += h;
+        totals[s].fetch_add(sum);
+      }
+    });
+  for (auto& t : streams) t.join();
+  for (auto& total : totals) EXPECT_EQ(total.load(), kLaunches * kSlots);
+}
+
 // ---------------------------------------------------------------- Device ----
 
 class DeviceModes : public ::testing::TestWithParam<ExecMode> {};
@@ -106,6 +135,69 @@ TEST(Device, SequentialModeRunsInOrder) {
   std::vector<std::int64_t> order;
   dev.launch(10, [&](std::int64_t i) { order.push_back(i); });
   for (std::int64_t i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+// -------------------------------------------------------------- streams ----
+
+TEST(Device, StreamsShareOneEngineButKeepTheirOwnStats) {
+  const auto engine = std::make_shared<Engine>(ExecMode::kConcurrent, 4);
+  Device a(engine), b(engine);
+  EXPECT_EQ(a.engine().get(), b.engine().get());
+  EXPECT_EQ(a.num_workers(), 4u);
+
+  a.launch(100, [](std::int64_t) {});
+  a.launch(100, [](std::int64_t) {});
+  b.launch_accounted(100, [](std::int64_t) -> std::int64_t { return 3; });
+  EXPECT_EQ(a.launches(), 2u);
+  EXPECT_EQ(b.launches(), 1u);
+  // Each stream models only its own launches: a has 2 latency + item
+  // terms and no work; b has 1 plus its 300 work units.
+  const DeviceModel m;
+  const double item_ms = 100 * m.ns_per_item * 1e-6;
+  EXPECT_NEAR(a.modeled_ms(), 2 * (m.launch_latency_us / 1e3 + item_ms), 1e-9);
+  EXPECT_NEAR(b.modeled_ms(),
+              m.launch_latency_us / 1e3 + item_ms + 300 * m.ns_per_work * 1e-6,
+              1e-9);
+}
+
+TEST(Device, ConcurrentStreamsRunConcurrentLaunchesCorrectly) {
+  // N streams on one engine, each launching from its own host thread —
+  // the pipeline's execution shape.  Every stream's grids must each cover
+  // their index space exactly once and count their own launches.
+  const auto engine = std::make_shared<Engine>(ExecMode::kConcurrent, 4);
+  constexpr int kStreams = 4, kLaunches = 25;
+  constexpr std::int64_t kGrid = 512;
+  std::vector<std::thread> threads;
+  std::vector<std::uint64_t> launches(kStreams, 0);
+  std::vector<std::int64_t> covered(kStreams, 0);
+  for (int s = 0; s < kStreams; ++s)
+    threads.emplace_back([&, s] {
+      Device stream(engine);
+      std::vector<std::atomic<int>> hits(kGrid);
+      for (int l = 0; l < kLaunches; ++l) {
+        for (auto& h : hits) h.store(0);
+        stream.launch(kGrid, [&](std::int64_t i) {
+          hits[static_cast<std::size_t>(i)].fetch_add(1);
+        });
+        for (auto& h : hits) covered[static_cast<std::size_t>(s)] += h.load();
+      }
+      launches[static_cast<std::size_t>(s)] = stream.launches();
+    });
+  for (auto& t : threads) t.join();
+  for (int s = 0; s < kStreams; ++s) {
+    EXPECT_EQ(launches[static_cast<std::size_t>(s)],
+              static_cast<std::uint64_t>(kLaunches));
+    EXPECT_EQ(covered[static_cast<std::size_t>(s)], kLaunches * kGrid);
+  }
+}
+
+TEST(Device, StreamsOnASequentialEngineStayOrdered) {
+  const auto engine = std::make_shared<Engine>(ExecMode::kSequential);
+  Device stream(engine);
+  EXPECT_EQ(stream.num_workers(), 1u);
+  std::vector<std::int64_t> order;
+  stream.launch(5, [&](std::int64_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::int64_t>{0, 1, 2, 3, 4}));
 }
 
 // ------------------------------------------------------------------- mem ----

@@ -102,6 +102,10 @@ TEST(Pipeline, TotalsAggregateThePerJobStats) {
   EXPECT_DOUBLE_EQ(report.totals.modeled_ms, modeled);
   EXPECT_GT(report.totals.device_launches, 0);  // two device solvers ran
   EXPECT_GT(report.totals.modeled_ms, 0.0);
+  // wall_ms is summed solver cost; batch_wall_ms is the caller's wait.
+  // They are distinct measurements: the batch wall includes scheduling
+  // and, under concurrency, overlapped jobs make it smaller than the sum.
+  EXPECT_GT(report.totals.batch_wall_ms, 0.0);
 }
 
 TEST(Pipeline, JobsForSelectsOneInstancesJobs) {
@@ -189,6 +193,165 @@ TEST(Pipeline, VerifyOffSkipsGroundTruthAndAcceptsAnything) {
   EXPECT_EQ(pipe.instances().front().maximum_cardinality, -1);
   const PipelineReport report = pipe.run({"greedy"});
   EXPECT_TRUE(report.all_ok());
+}
+
+// ---- concurrent scheduler --------------------------------------------------
+
+// The report signature that must be schedule-invariant: which job, on
+// which instance, with which result.  (Timings legitimately vary.)
+std::string report_signature(const PipelineReport& report) {
+  std::string out;
+  for (const PipelineJob& job : report.jobs)
+    out += std::to_string(job.instance) + ":" + job.solver + ":" +
+           std::to_string(job.stats.cardinality) + ":" +
+           (job.ok ? "ok" : "FAIL") + ":" + (job.cached ? "hit" : "miss") +
+           ";";
+  return out;
+}
+
+// Stress the work-stealing scheduler: 8 instances x 3 solvers, at several
+// max_concurrent_jobs levels.  Every job must verify and the report must
+// be identical to the sequential schedule regardless of interleaving.
+TEST(Pipeline, ConcurrentSchedulerMatchesTheSequentialReportUnderStress) {
+  const std::vector<std::string> solvers = {"g-pr-shr", "hk", "p-dbfs"};
+  MatchingPipeline pipe({.device_threads = 4,
+                         .solver_threads = 2,
+                         .max_concurrent_jobs = 1});
+  for (int i = 0; i < 8; ++i) {
+    const auto seed = static_cast<std::uint64_t>(11 * i + 3);
+    pipe.add_instance(
+        "g" + std::to_string(i),
+        i % 2 == 0 ? gen::random_uniform(300 + 20 * i, 310, 1500, seed)
+                   : gen::chung_lu(250 + 10 * i, 260, 4.0, 2.4, seed));
+  }
+  ASSERT_EQ(pipe.instances().size(), 8u);
+
+  const PipelineReport sequential = pipe.run(solvers);
+  ASSERT_TRUE(sequential.all_ok());
+  ASSERT_EQ(sequential.jobs.size(), 24u);
+  const std::string want = report_signature(sequential);
+
+  for (const unsigned concurrency : {2u, 4u, 8u, 13u}) {
+    pipe.set_max_concurrent_jobs(concurrency);
+    const PipelineReport report = pipe.run(solvers);
+    EXPECT_TRUE(report.all_ok()) << "concurrency " << concurrency;
+    EXPECT_EQ(report_signature(report), want)
+        << "concurrent schedule changed the report at concurrency "
+        << concurrency;
+    EXPECT_GT(report.totals.batch_wall_ms, 0.0);
+  }
+}
+
+// Concurrent jobs run on per-stream devices: the batch's launch totals
+// must equal the sequential schedule's (same kernels, different streams),
+// proving streams do not corrupt each other's counters.
+TEST(Pipeline, StreamsKeepLaunchAccountingExactUnderConcurrency) {
+  // Sequential kernel mode: per-job launch counts are deterministic, so
+  // any cross-stream corruption shows up as a count mismatch.  Jobs still
+  // run concurrently (each scheduler thread drives its own stream).
+  MatchingPipeline pipe({.device_mode = device::ExecMode::kSequential,
+                         .max_concurrent_jobs = 1});
+  for (auto& [name, g] : suite()) pipe.add_instance(name, std::move(g));
+  const PipelineReport sequential = pipe.run({"g-hkdw"});
+  ASSERT_TRUE(sequential.all_ok());
+
+  pipe.set_max_concurrent_jobs(4);
+  const PipelineReport concurrent = pipe.run({"g-hkdw"});
+  ASSERT_TRUE(concurrent.all_ok());
+  // G-HK's phase structure is deterministic given the init, so per-job
+  // launch counts are comparable job for job.
+  ASSERT_EQ(concurrent.jobs.size(), sequential.jobs.size());
+  for (std::size_t i = 0; i < concurrent.jobs.size(); ++i)
+    EXPECT_EQ(concurrent.jobs[i].stats.device_launches,
+              sequential.jobs[i].stats.device_launches)
+        << sequential.jobs[i].solver << " on instance "
+        << sequential.jobs[i].instance;
+}
+
+// ---- result cache ----------------------------------------------------------
+
+TEST(Pipeline, ResultCacheServesRepeatedInstancesWithoutResolving) {
+  MatchingPipeline pipe({.device_threads = 2});
+  const BipartiteGraph g = gen::random_uniform(400, 420, 2000, 5);
+  pipe.add_instance("original", g);
+  pipe.add_instance("repeat", g);
+  pipe.add_instance("other", gen::planted_perfect(300, 2.0, 9));
+  EXPECT_EQ(pipe.instances()[0].fingerprint, pipe.instances()[1].fingerprint);
+  EXPECT_NE(pipe.instances()[0].fingerprint, pipe.instances()[2].fingerprint);
+
+  const PipelineReport report = pipe.run({"hk", "pf"});
+  ASSERT_TRUE(report.all_ok());
+  ASSERT_EQ(report.jobs.size(), 6u);
+  EXPECT_EQ(report.totals.cache_hits, 2u);
+  // The duplicate instance's jobs are the hits, in deterministic order.
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    const PipelineJob& job = report.jobs[i];
+    EXPECT_EQ(job.cached, job.instance == 1) << "job " << i;
+    if (job.cached) {
+      // Same result as the source job, no re-charged cost.
+      EXPECT_EQ(job.stats.cardinality, report.jobs[i - 2].stats.cardinality);
+      EXPECT_EQ(job.stats.wall_ms, 0.0);
+      EXPECT_EQ(job.stats.device_launches, 0);
+    }
+  }
+}
+
+TEST(Pipeline, CacheDistinguishesSolverSpecsAndDedupesEqualOnes) {
+  MatchingPipeline pipe;
+  const BipartiteGraph g = gen::chung_lu(300, 300, 4.0, 2.4, 7);
+  pipe.add_instance("a", g);
+  pipe.add_instance("b", g);
+
+  // Different tunings of one solver never share cache entries...
+  const PipelineReport tuned = pipe.run({"seq-pr:k=2", "seq-pr:k=4"});
+  ASSERT_TRUE(tuned.all_ok());
+  EXPECT_EQ(tuned.totals.cache_hits, 2u);  // only across the duplicate graph
+  EXPECT_FALSE(tuned.jobs[0].cached);
+  EXPECT_FALSE(tuned.jobs[1].cached);
+
+  // ...while two spellings of the same tuning do, even within an instance.
+  const PipelineReport same =
+      pipe.run({"seq-pr:k=2,gap=1", "seq-pr:gap=1,k=2"});
+  ASSERT_TRUE(same.all_ok());
+  EXPECT_EQ(same.totals.cache_hits, 3u);  // 4 jobs, 1 solve
+  EXPECT_FALSE(same.jobs[0].cached);
+  for (std::size_t i = 1; i < 4; ++i) EXPECT_TRUE(same.jobs[i].cached);
+}
+
+TEST(Pipeline, CacheCanBeDisabled) {
+  MatchingPipeline pipe({.cache_results = false});
+  const BipartiteGraph g = gen::random_uniform(200, 210, 900, 3);
+  pipe.add_instance("a", g);
+  pipe.add_instance("b", g);
+  const PipelineReport report = pipe.run({"hk"});
+  ASSERT_TRUE(report.all_ok());
+  EXPECT_EQ(report.totals.cache_hits, 0u);
+  for (const PipelineJob& job : report.jobs) EXPECT_FALSE(job.cached);
+}
+
+TEST(Pipeline, RunWithCachesPerSolverObjectNotPerName) {
+  // Two registry-default "hk" objects passed to run_with may have been
+  // tuned apart by the caller, so they must not share cache entries.
+  MatchingPipeline pipe;
+  pipe.add_instance("g", gen::random_uniform(200, 210, 900, 3));
+  std::vector<std::unique_ptr<Solver>> solvers;
+  solvers.push_back(SolverRegistry::instance().create("hk"));
+  solvers.push_back(SolverRegistry::instance().create("hk"));
+  const PipelineReport report = pipe.run_with(solvers);
+  ASSERT_TRUE(report.all_ok());
+  EXPECT_EQ(report.totals.cache_hits, 0u);
+}
+
+TEST(Pipeline, SpecStringsRunEndToEnd) {
+  MatchingPipeline pipe({.device_threads = 2});
+  pipe.add_instance("g", gen::random_uniform(300, 310, 1500, 11));
+  const PipelineReport report = pipe.run({"g-pr-shr:k=1.5", "hk"});
+  ASSERT_TRUE(report.all_ok());
+  EXPECT_EQ(report.jobs[0].stats.cardinality,
+            report.jobs[1].stats.cardinality);
+  EXPECT_THROW((void)pipe.run({"g-pr-shr:k="}), std::invalid_argument);
+  EXPECT_THROW((void)pipe.run({"hk:no-such-option=1"}),
+               std::invalid_argument);
 }
 
 // The acceptance scenario: a batch over a concurrent device agrees with a

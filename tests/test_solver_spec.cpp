@@ -1,0 +1,132 @@
+// SolverSpec (core/solver.hpp): the `name:key=val,key=val` grammar every
+// CLI surface uses for tuned solvers — parsing, list parsing with option
+// continuation, canonical round-trips, instantiation, and the loud
+// failure modes (malformed specs and unknown names must name the
+// registered solvers).
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "core/solver.hpp"
+#include "graph/generators.hpp"
+#include "matching/matching.hpp"
+
+namespace bpm {
+namespace {
+
+TEST(SolverSpec, ParsesABareName) {
+  const SolverSpec spec = SolverSpec::parse("g-pr-shr");
+  EXPECT_EQ(spec.name, "g-pr-shr");
+  EXPECT_TRUE(spec.options.empty());
+  EXPECT_EQ(spec.canonical(), "g-pr-shr");
+}
+
+TEST(SolverSpec, ParsesOptions) {
+  const SolverSpec spec = SolverSpec::parse("g-pr-shr:k=1.5,strategy=fix");
+  EXPECT_EQ(spec.name, "g-pr-shr");
+  ASSERT_EQ(spec.options.size(), 2u);
+  EXPECT_EQ(spec.options[0], (std::pair<std::string, std::string>{"k", "1.5"}));
+  EXPECT_EQ(spec.options[1],
+            (std::pair<std::string, std::string>{"strategy", "fix"}));
+}
+
+TEST(SolverSpec, CanonicalSortsOptionsAndRoundTrips) {
+  const SolverSpec spec = SolverSpec::parse("g-pr-shr:strategy=fix,k=1.5");
+  EXPECT_EQ(spec.canonical(), "g-pr-shr:k=1.5,strategy=fix");
+  // parse(canonical()) is a fixed point.
+  EXPECT_EQ(SolverSpec::parse(spec.canonical()).canonical(), spec.canonical());
+  // Two spellings of one configuration share a canonical identity.
+  EXPECT_EQ(SolverSpec::parse("g-pr-shr:k=1.5,strategy=fix").canonical(),
+            spec.canonical());
+}
+
+TEST(SolverSpec, ListSplitsSpecsAndContinuesOptions) {
+  // The comma is both the list and the option separator: a key=val token
+  // without ':' continues the previous spec.
+  const auto specs =
+      SolverSpec::parse_list("g-pr-shr:k=1.5,strategy=fix,hk,seq-pr:gap=0");
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].canonical(), "g-pr-shr:k=1.5,strategy=fix");
+  EXPECT_EQ(specs[1].canonical(), "hk");
+  EXPECT_EQ(specs[2].canonical(), "seq-pr:gap=0");
+}
+
+TEST(SolverSpec, ListOfPlainNamesStaysPlain) {
+  const auto specs = SolverSpec::parse_list("g-pr-shr,g-hkdw,p-dbfs");
+  ASSERT_EQ(specs.size(), 3u);
+  for (const auto& spec : specs) EXPECT_TRUE(spec.options.empty());
+}
+
+TEST(SolverSpec, MalformedSpecsFailWithTheRegistryListing) {
+  // Every malformed shape throws invalid_argument whose message names the
+  // registered solvers (the acceptance-criterion error surface).
+  for (const std::string bad :
+       {"", ":k=1", "hk:", "hk:k", "hk:=1", "hk:k=1,", "hk:k=1,,gap=0",
+        "k=1.5", "hk,", "hk,,pf", ",hk"}) {
+    try {
+      (void)SolverSpec::parse_list(bad.empty() ? "," : bad);
+      (void)SolverSpec::parse(bad);
+      FAIL() << "spec '" << bad << "' should have thrown";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("g-pr-shr"), std::string::npos)
+          << "error for '" << bad << "' should list the registry: "
+          << e.what();
+    }
+  }
+}
+
+TEST(SolverSpec, UnknownNameFailsWithTheRegistryListing) {
+  const SolverSpec spec = SolverSpec::parse("no-such-solver:k=2");
+  try {
+    (void)spec.instantiate();
+    FAIL() << "unknown solver should have thrown";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no-such-solver"), std::string::npos);
+    EXPECT_NE(msg.find("have:"), std::string::npos);
+    EXPECT_NE(msg.find("g-pr-shr"), std::string::npos);
+  }
+}
+
+TEST(SolverSpec, UnknownOptionKeyFailsNamingTheSolver) {
+  try {
+    (void)SolverSpec::parse("hk:k=1.5").instantiate();
+    FAIL() << "hk has no options; should have thrown";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("hk"), std::string::npos);
+    EXPECT_NE(msg.find("'k'"), std::string::npos);
+  }
+}
+
+TEST(SolverSpec, MalformedOptionValueFailsAtInstantiate) {
+  EXPECT_THROW((void)SolverSpec::parse("g-pr-shr:k=banana").instantiate(),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)SolverSpec::parse("g-pr-shr:strategy=sideways").instantiate(),
+      std::invalid_argument);
+}
+
+TEST(SolverSpec, InstantiatedTunedSolverRunsEndToEnd) {
+  const auto g = graph::gen::random_uniform(200, 210, 900, 3);
+  device::Device dev({.mode = device::ExecMode::kConcurrent, .num_threads = 2});
+  const SolveContext ctx{.device = &dev, .threads = 2};
+  const matching::Matching init(g);
+
+  const auto tuned = SolverSpec::parse("g-pr-shr:k=1.5").instantiate();
+  const auto stock = SolverSpec::parse("hk").instantiate();
+  const SolveResult a = tuned->run(ctx, g, init);
+  const SolveResult b = stock->run(ctx, g, init);
+  EXPECT_EQ(a.stats.cardinality, b.stats.cardinality);
+  EXPECT_TRUE(a.matching.is_valid(g));
+}
+
+TEST(SolverSpec, AliasesResolveThroughSpecs) {
+  EXPECT_EQ(SolverSpec::parse("g-pr").instantiate()->name(), "g-pr-shr");
+  EXPECT_EQ(SolverSpec::parse("pr:k=2").instantiate()->name(), "seq-pr");
+}
+
+}  // namespace
+}  // namespace bpm
