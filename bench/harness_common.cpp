@@ -1,5 +1,7 @@
 #include "harness_common.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <iostream>
 #include <thread>
 
@@ -16,6 +18,10 @@ void register_suite_flags(CliParser& cli, int default_stride,
   cli.add_option("stride", "use every stride-th instance of the 28",
                  std::to_string(default_stride));
   cli.add_option("threads", "worker threads (0 = hardware)", "0");
+  cli.add_option("jobs",
+                 "concurrent jobs for suite building and pipeline grids, one "
+                 "device stream each (0 = hardware, 1 = sequential)",
+                 "1");
   cli.add_flag("verbose", "per-instance rows in addition to aggregates");
   cli.add_flag("csv", "emit CSV instead of aligned tables");
   cli.add_flag("no-model",
@@ -31,6 +37,7 @@ SuiteOptions suite_options_from_cli(const CliParser& cli) {
   opt.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   opt.stride = static_cast<int>(cli.get_int("stride"));
   opt.threads = static_cast<unsigned>(cli.get_int("threads"));
+  opt.jobs = static_cast<unsigned>(cli.get_int("jobs"));
   opt.verbose = cli.get_flag("verbose");
   opt.csv = cli.get_flag("csv");
   opt.no_model = cli.get_flag("no-model");
@@ -52,10 +59,54 @@ BuiltInstance build_instance(const graph::Instance& meta,
 }
 
 std::vector<BuiltInstance> build_suite(const SuiteOptions& opt) {
-  std::vector<BuiltInstance> out;
-  for (const auto& meta : graph::select_instances(opt.stride))
-    out.push_back(build_instance(meta, opt));
+  const std::vector<graph::Instance> metas =
+      graph::select_instances(opt.stride);
+  std::vector<BuiltInstance> out(metas.size());
+  unsigned jobs = opt.jobs ? opt.jobs : std::thread::hardware_concurrency();
+  if (jobs == 0) jobs = 1;
+  jobs = std::min<unsigned>(jobs, static_cast<unsigned>(metas.size()));
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < metas.size(); ++i)
+      out[i] = build_instance(metas[i], opt);
+    return out;
+  }
+  // Builds are independent and deterministic in (meta, opt), so a static
+  // claim order changes nothing but the wall time.
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= metas.size()) return;
+      out[i] = build_instance(metas[i], opt);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(jobs - 1);
+  for (unsigned t = 0; t + 1 < jobs; ++t) threads.emplace_back(worker);
+  worker();
+  for (std::thread& t : threads) t.join();
   return out;
+}
+
+PipelineInstance to_pipeline_instance(const BuiltInstance& bi) {
+  PipelineInstance inst;
+  inst.name = bi.meta.name;
+  inst.graph = bi.g;
+  inst.init = bi.init;
+  inst.initial_cardinality = bi.initial_cardinality;
+  inst.maximum_cardinality = bi.maximum_cardinality;
+  inst.fingerprint = graph::structural_fingerprint(bi.g);
+  return inst;
+}
+
+PipelineReport run_grid(const std::vector<BuiltInstance>& suite,
+                        const SuiteOptions& opt) {
+  MatchingPipeline pipe({.device_threads = opt.threads,
+                         .solver_threads = opt.threads,
+                         .max_concurrent_jobs = opt.jobs});
+  for (const BuiltInstance& bi : suite)
+    pipe.add_instance(to_pipeline_instance(bi));
+  return pipe.run_specs(opt.algos);
 }
 
 AlgoResult run_solver(const Solver& solver, device::Device& dev,

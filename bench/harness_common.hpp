@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/pipeline.hpp"
 #include "core/solver.hpp"
 #include "device/device.hpp"
 #include "graph/instances.hpp"
@@ -18,6 +19,12 @@ struct SuiteOptions {
   std::uint64_t seed = 1;
   int stride = 1;             ///< take every stride-th instance
   unsigned threads = 0;       ///< device / multicore workers, 0 = hw
+  /// Concurrent jobs (`--jobs`, every harness): suite building and any
+  /// `run_grid`/`MatchingPipeline` work schedule up to this many jobs at
+  /// once, each on its own device stream (0 = hardware).  Defaults to 1 —
+  /// the sequential schedule — because the paper harnesses report per-run
+  /// times, which overlapping jobs on one host would skew.
+  unsigned jobs = 1;
   bool verbose = false;
   bool csv = false;
   /// Cross-architecture artifacts (Fig 2-4, Table I) use the modeled
@@ -53,6 +60,9 @@ struct BuiltInstance {
 
 /// Generates the (strided) instance suite at the requested scale and
 /// computes the reference maximum cardinality for result checking.
+/// Builds `opt.jobs` instances concurrently (generation, init, and the
+/// Hopcroft–Karp ground truth dominate harness start-up); the returned
+/// order and contents are identical at any concurrency.
 [[nodiscard]] std::vector<BuiltInstance> build_suite(const SuiteOptions& opt);
 
 /// Builds a single instance by Table I id (1–28).
@@ -89,6 +99,20 @@ struct AlgoResult {
                                     device::Device& dev,
                                     const BuiltInstance& bi,
                                     unsigned threads = 0);
+
+/// The suite instance as a pipeline/serving admission — init and ground
+/// truth carried over, not recomputed (only the cheap structural
+/// fingerprint is added).
+[[nodiscard]] PipelineInstance to_pipeline_instance(const BuiltInstance& bi);
+
+/// Runs the full (instance × `opt.algos`) grid through a
+/// `MatchingPipeline` scheduled at `opt.jobs` concurrent jobs — the
+/// one-call way for a harness to exercise the concurrent scheduler.  The
+/// suite's precomputed init/ground truth are reused, every job is
+/// verified, and the report is in deterministic instance-major order
+/// regardless of `opt.jobs`.
+[[nodiscard]] PipelineReport run_grid(const std::vector<BuiltInstance>& suite,
+                                      const SuiteOptions& opt);
 
 /// Prints the standard harness header (instance count, scale, hardware).
 void print_header(const std::string& title, const SuiteOptions& opt,

@@ -1,0 +1,280 @@
+// bpm_serve — a long-running matching service behind a line-delimited
+// request protocol, driven from a script file (--script) or stdin.  The
+// service owns one device engine for its whole lifetime, dedups registered
+// graphs by structural fingerprint, schedules requests from a bounded
+// priority queue over worker-owned device streams, and (with --cache-bytes
+// > 0) serves repeated (instance, solver spec) requests from a persistent
+// result cache that can be snapshotted to disk and reloaded on restart.
+//
+//   bpm_serve --script examples/serve_smoke.req
+//   bpm_serve --cache-load warm.cache --cache-save warm.cache < requests.txt
+//
+// Protocol (one command per line; '#' starts a comment):
+//   load <name> <file.mtx>             register a Matrix Market graph
+//   gen <name> uniform <rows> <cols> <edges> <seed>
+//   gen <name> planted <n> <extra_degree> <seed>
+//   gen <name> chung-lu <rows> <cols> <avg_degree> <gamma> <seed>
+//   gen <name> instance <paper-name> <scale> <seed>
+//   submit <instance> <spec> [prio=<n>] [deadline=<ms>]   -> ticket <id>
+//   poll <ticket>                      non-blocking status check
+//   wait <ticket>                      block until the result line
+//   drain                              block until the queue is empty
+//   stats                              service + cache + engine counters
+//   save-cache <path> | load-cache <path>
+//   shutdown                           stop accepting, drain, exit
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/instances.hpp"
+#include "graph/matrix_market.hpp"
+#include "serve/service.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace bpm;
+
+void print_response(const serve::Response& r) {
+  std::cout << "result ticket=" << r.ticket << " instance=" << r.instance_name
+            << " solver=" << r.solver << " ok=" << (r.ok ? 1 : 0)
+            << " cached=" << (r.cached ? 1 : 0)
+            << " cardinality=" << r.stats.cardinality
+            << " queue_ms=" << r.queue_ms << " service_ms=" << r.service_ms
+            << " total_ms=" << r.total_ms;
+  if (!r.error.empty()) std::cout << " error=\"" << r.error << "\"";
+  std::cout << "\n";
+}
+
+graph::BipartiteGraph generate(const std::vector<std::string>& args) {
+  // args: <kind> <params...> (the command name and instance name are gone).
+  const auto want = [&](std::size_t n, const char* usage) {
+    if (args.size() != n + 1)
+      throw std::invalid_argument(std::string("gen ") + usage);
+  };
+  const auto arg_i = [&](std::size_t i) {
+    return static_cast<graph::index_t>(std::stol(args[i]));
+  };
+  const auto arg_u = [&](std::size_t i) {
+    return static_cast<std::uint64_t>(std::stoull(args[i]));
+  };
+  const std::string& kind = args[0];
+  if (kind == "uniform") {
+    want(4, "<name> uniform <rows> <cols> <edges> <seed>");
+    return graph::gen::random_uniform(
+        arg_i(1), arg_i(2), static_cast<graph::offset_t>(std::stoll(args[3])),
+        arg_u(4));
+  }
+  if (kind == "planted") {
+    want(3, "<name> planted <n> <extra_degree> <seed>");
+    return graph::gen::planted_perfect(arg_i(1), std::stod(args[2]), arg_u(3));
+  }
+  if (kind == "chung-lu") {
+    want(5, "<name> chung-lu <rows> <cols> <avg_degree> <gamma> <seed>");
+    return graph::gen::chung_lu(arg_i(1), arg_i(2), std::stod(args[3]),
+                                std::stod(args[4]), arg_u(5));
+  }
+  if (kind == "instance") {
+    want(3, "<name> instance <paper-name> <scale> <seed>");
+    for (const auto& inst : graph::paper_instances())
+      if (inst.name == args[1]) return inst.build(std::stod(args[2]), arg_u(3));
+    throw std::invalid_argument("unknown paper instance '" + args[1] + "'");
+  }
+  throw std::invalid_argument(
+      "unknown generator '" + kind +
+      "' (uniform | planted | chung-lu | instance)");
+}
+
+/// Executes one protocol line; returns false on `shutdown`.
+bool execute(serve::MatchingService& service, const std::string& line,
+             bool echo) {
+  std::istringstream is(line);
+  std::vector<std::string> tok;
+  for (std::string t; is >> t;) tok.push_back(t);
+  if (tok.empty() || tok.front().starts_with('#')) return true;
+  if (echo) std::cout << "> " << line << "\n";
+  const std::string& cmd = tok.front();
+
+  if (cmd == "shutdown") {
+    service.shutdown();
+    return false;
+  }
+  if (cmd == "drain") {
+    service.drain();
+    std::cout << "drained\n";
+    return true;
+  }
+  if (cmd == "stats") {
+    const serve::ServiceStats s = service.stats();
+    std::cout << "stats submitted=" << s.submitted
+              << " accepted=" << s.accepted << " rejected=" << s.rejected
+              << " completed=" << s.completed << " failed=" << s.failed
+              << " expired=" << s.expired << " cache_hits=" << s.cache_hits
+              << " queued=" << s.queued << " in_flight=" << s.in_flight
+              << " instances=" << service.instances().size() << "\n";
+    if (service.cache()) {
+      const serve::CacheStats c = service.cache()->stats();
+      std::cout << "cache entries=" << c.entries << " bytes=" << c.bytes
+                << " hits=" << c.hits << " misses=" << c.misses
+                << " insertions=" << c.insertions
+                << " evictions=" << c.evictions << "\n";
+    }
+    const device::EngineStats e = service.engine_stats();
+    std::cout << "engine streams_opened=" << e.streams_opened
+              << " streams_retired=" << e.streams_retired
+              << " launches=" << e.launches << " modeled_ms=" << e.modeled_ms
+              << "\n";
+    return true;
+  }
+  if (cmd == "load" || cmd == "gen") {
+    if (tok.size() < 3)
+      throw std::invalid_argument(cmd + " <name> <source...>");
+    graph::BipartiteGraph g =
+        cmd == "load" ? graph::read_matrix_market_file(tok[2])
+                      : generate({tok.begin() + 2, tok.end()});
+    const auto added = service.add_instance(tok[1], std::move(g));
+    const auto& inst = service.instances().get(added.handle);
+    std::cout << "instance " << tok[1] << " handle=" << added.handle
+              << (added.deduplicated ? " (deduplicated)" : "") << " "
+              << inst.graph.describe() << " max=" << inst.maximum_cardinality
+              << "\n";
+    return true;
+  }
+  if (cmd == "submit") {
+    if (tok.size() < 3)
+      throw std::invalid_argument(
+          "submit <instance> <spec> [prio=<n>] [deadline=<ms>]");
+    serve::Request req;
+    const auto handle = service.instances().find(tok[1]);
+    if (!handle)
+      throw std::invalid_argument("unknown instance '" + tok[1] + "'");
+    req.instance = *handle;
+    req.spec = SolverSpec::parse(tok[2]);
+    for (std::size_t i = 3; i < tok.size(); ++i) {
+      if (tok[i].starts_with("prio="))
+        req.priority = std::stoi(tok[i].substr(5));
+      else if (tok[i].starts_with("deadline="))
+        req.deadline_ms = std::stod(tok[i].substr(9));
+      else
+        throw std::invalid_argument("unknown submit argument '" + tok[i] +
+                                    "'");
+    }
+    const serve::Submission sub = service.submit(std::move(req));
+    if (sub.accepted)
+      std::cout << "ticket " << sub.ticket << "\n";
+    else
+      std::cout << "rejected reason=\"" << sub.reason << "\"\n";
+    return true;
+  }
+  if (cmd == "poll" || cmd == "wait") {
+    if (tok.size() != 2) throw std::invalid_argument(cmd + " <ticket>");
+    const auto ticket = static_cast<std::uint64_t>(std::stoull(tok[1]));
+    if (cmd == "wait") {
+      print_response(service.wait(ticket));
+    } else if (const auto r = service.poll(ticket)) {
+      print_response(*r);
+    } else {
+      std::cout << "pending ticket=" << ticket << "\n";
+    }
+    return true;
+  }
+  if (cmd == "save-cache" || cmd == "load-cache") {
+    if (tok.size() != 2) throw std::invalid_argument(cmd + " <path>");
+    if (!service.cache())
+      throw std::invalid_argument("service runs without a cache");
+    if (cmd == "save-cache") {
+      if (!service.cache()->save_file(tok[1]))
+        throw std::runtime_error("cannot write '" + tok[1] + "'");
+      std::cout << "cache saved to " << tok[1] << "\n";
+    } else {
+      std::cout << "cache loaded " << service.cache()->load_file(tok[1])
+                << " entries from " << tok[1] << "\n";
+    }
+    return true;
+  }
+  throw std::invalid_argument("unknown command '" + cmd + "' (try --help)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bpm_serve",
+                "long-running matching service driven by a line-delimited "
+                "request protocol (script file or stdin)");
+  cli.add_option("script", "request script (empty = read stdin)", "");
+  cli.add_option("workers", "concurrent requests, one device stream each",
+                 "2");
+  cli.add_option("device-threads", "engine pool workers (0 = hardware)", "0");
+  cli.add_option("queue-depth", "admission queue bound", "256");
+  cli.add_option("cache-bytes", "result cache budget in bytes (0 = no cache)",
+                 std::to_string(std::size_t{64} << 20));
+  cli.add_option("cache-shards", "result cache shard count", "8");
+  cli.add_option("cache-load", "warm the cache from this snapshot on start",
+                 "");
+  cli.add_option("cache-save", "snapshot the cache here on shutdown", "");
+  cli.add_flag("no-verify", "skip per-request verification");
+  cli.add_flag("echo", "echo every protocol command before its reply");
+
+  try {
+    cli.parse(argc, argv);
+
+    serve::ServiceOptions opt;
+    opt.workers = static_cast<unsigned>(cli.get_int("workers"));
+    opt.device_threads = static_cast<unsigned>(cli.get_int("device-threads"));
+    opt.queue_depth = static_cast<std::size_t>(cli.get_int("queue-depth"));
+    opt.verify = !cli.get_flag("no-verify");
+    const auto cache_bytes =
+        static_cast<std::size_t>(cli.get_int("cache-bytes"));
+    if (cache_bytes > 0)
+      opt.cache = std::make_shared<serve::ResultCache>(serve::CacheOptions{
+          .byte_budget = cache_bytes,
+          .shards = static_cast<unsigned>(cli.get_int("cache-shards"))});
+
+    serve::MatchingService service(opt);
+    if (!cli.get_string("cache-load").empty() && service.cache()) {
+      const std::size_t n =
+          service.cache()->load_file(cli.get_string("cache-load"));
+      std::cout << "cache warmed with " << n << " entries from "
+                << cli.get_string("cache-load") << "\n";
+    }
+
+    std::ifstream script;
+    const bool from_file = !cli.get_string("script").empty();
+    if (from_file) {
+      script.open(cli.get_string("script"));
+      if (!script)
+        throw std::runtime_error("cannot read script '" +
+                                 cli.get_string("script") + "'");
+    }
+    std::istream& in = from_file ? script : std::cin;
+    const bool echo = cli.get_flag("echo") || from_file;
+
+    bool failed = false;
+    for (std::string line; std::getline(in, line);) {
+      try {
+        if (!execute(service, line, echo)) break;
+      } catch (const std::exception& e) {
+        // A bad command must not take the service down — report and go on
+        // (the process still exits nonzero so scripted runs fail loudly).
+        std::cout << "error: " << e.what() << "\n";
+        failed = true;
+      }
+    }
+    service.shutdown();
+    if (!cli.get_string("cache-save").empty() && service.cache()) {
+      if (!service.cache()->save_file(cli.get_string("cache-save")))
+        throw std::runtime_error("cannot write cache snapshot '" +
+                                 cli.get_string("cache-save") + "'");
+      std::cout << "cache snapshot written to " << cli.get_string("cache-save")
+                << "\n";
+    }
+    return failed ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -11,16 +11,20 @@
 //   * the column permutation itself, printed on request.
 //
 // Usage:
-//   sparse_matrix_analysis [matrix.mtx]
+//   sparse_matrix_analysis [matrix.mtx] [solver-spec]
 //
 // Without an argument a demonstration matrix (a structurally singular
-// arrowhead variant) is analysed.
+// arrowhead variant) is analysed.  The matching comes from any registered
+// solver (default g-pr-shr) through the uniform `SolverRegistry` seam —
+// this example needs the matching itself (for the permutation and the
+// Dulmage–Mendelsohn decomposition), so it uses `SolverSpec`/`solve`
+// rather than the batched pipeline.
 
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
-#include "core/g_pr.hpp"
+#include "core/solver.hpp"
 #include "device/device.hpp"
 #include "graph/builder.hpp"
 #include "graph/matrix_market.hpp"
@@ -46,11 +50,13 @@ bpm::graph::BipartiteGraph demo_matrix() {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace bpm;
 
+  // "-" (or an empty path) selects the demo matrix, so a solver spec can
+  // be passed without a file: sparse_matrix_analysis - hk
   graph::BipartiteGraph g;
-  if (argc > 1) {
+  if (argc > 1 && argv[1][0] != '\0' && std::string(argv[1]) != "-") {
     std::cout << "reading " << argv[1] << "\n";
     g = graph::read_matrix_market_file(argv[1]);
   } else {
@@ -59,10 +65,23 @@ int main(int argc, char** argv) {
   }
   std::cout << "matrix: " << g.describe() << "\n";
 
+  // Any *exact* registry solver works (sprank is the maximum cardinality,
+  // so a heuristic's under-estimate would print false singularity claims).
+  const SolverSpec spec =
+      SolverSpec::parse(argc > 2 ? argv[2] : "g-pr-shr");
+  const auto solver = spec.instantiate();
+  if (!solver->caps().exact) {
+    std::cerr << "error: '" << spec.canonical()
+              << "' is a heuristic (inexact); the structural rank needs an "
+                 "exact solver\n";
+    return 1;
+  }
   device::Device dev;
+  const SolveContext ctx{.device = &dev};
   const matching::Matching init = matching::cheap_matching(g);
-  const gpu::GprResult result = gpu::g_pr(dev, g, init);
+  const SolveResult result = solver->run(ctx, g, init);
   const graph::index_t sprank = result.matching.cardinality();
+  std::cout << "solver: " << spec.canonical() << "\n";
 
   const graph::index_t n = std::min(g.num_rows(), g.num_cols());
   std::cout << "structural rank (sprank): " << sprank << " of " << n << "\n";
@@ -118,4 +137,7 @@ int main(int argc, char** argv) {
               << "\n";
   }
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
 }

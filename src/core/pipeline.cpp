@@ -2,34 +2,17 @@
 
 #include <atomic>
 #include <map>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
 #include "matching/greedy.hpp"
 #include "matching/hopcroft_karp.hpp"
-#include "matching/verify.hpp"
+#include "serve/result_cache.hpp"
 #include "util/timer.hpp"
 
 namespace bpm {
-namespace {
-
-/// FNV-1a over the graph's dimensions and row-side CSR (the column side is
-/// derived from it, so hashing one direction identifies the graph).
-std::uint64_t graph_fingerprint(const graph::BipartiteGraph& g) {
-  std::uint64_t h = 1469598103934665603ull;
-  const auto mix = [&h](std::uint64_t v) {
-    h ^= v;
-    h *= 1099511628211ull;
-  };
-  mix(static_cast<std::uint64_t>(g.num_rows()));
-  mix(static_cast<std::uint64_t>(g.num_cols()));
-  for (const graph::offset_t p : g.row_ptr()) mix(static_cast<std::uint64_t>(p));
-  for (const graph::index_t a : g.row_adj()) mix(static_cast<std::uint64_t>(a));
-  return h;
-}
-
-}  // namespace
 
 std::vector<const PipelineJob*> PipelineReport::jobs_for(
     std::size_t instance) const {
@@ -45,24 +28,42 @@ MatchingPipeline::MatchingPipeline(PipelineOptions options)
                                                options_.device_threads)),
       device_(engine_) {}
 
-std::size_t MatchingPipeline::add_instance(std::string name,
-                                           graph::BipartiteGraph graph) {
+PipelineInstance admit_instance(std::string name, graph::BipartiteGraph graph,
+                                const PipelineOptions& options) {
   PipelineInstance inst;
   inst.name = std::move(name);
   inst.graph = std::move(graph);
-  inst.init = !options_.share_init ? matching::Matching(inst.graph)
-              : options_.init_builder
-                  ? options_.init_builder(inst.graph)
+  inst.init = !options.share_init ? matching::Matching(inst.graph)
+              : options.init_builder
+                  ? options.init_builder(inst.graph)
                   : matching::cheap_matching(inst.graph);
   inst.initial_cardinality = inst.init.cardinality();
-  inst.fingerprint = graph_fingerprint(inst.graph);
-  if (options_.verify)
+  inst.fingerprint = graph::structural_fingerprint(inst.graph);
+  if (options.verify)
     // Ground truth once per instance via Hopcroft–Karp seeded with the
     // shared init (tested against the independent reference in tests/).
     inst.maximum_cardinality =
         matching::hopcroft_karp(inst.graph, inst.init).cardinality();
-  instances_.push_back(std::move(inst));
+  return inst;
+}
+
+std::size_t MatchingPipeline::add_instance(std::string name,
+                                           graph::BipartiteGraph graph) {
+  instances_.push_back(
+      admit_instance(std::move(name), std::move(graph), options_));
   return instances_.size() - 1;
+}
+
+std::size_t MatchingPipeline::add_instance(PipelineInstance instance) {
+  if (instance.fingerprint == 0)
+    instance.fingerprint = graph::structural_fingerprint(instance.graph);
+  instances_.push_back(std::move(instance));
+  return instances_.size() - 1;
+}
+
+void MatchingPipeline::set_shared_cache(
+    std::shared_ptr<serve::ResultCache> cache) {
+  options_.shared_cache = std::move(cache);
 }
 
 PipelineReport MatchingPipeline::run(
@@ -86,7 +87,8 @@ PipelineReport MatchingPipeline::run_specs(
     solvers.push_back(spec.instantiate());
     // The canonical spec is the configuration's identity: two spellings of
     // the same tuning share cache entries, different tunings never do.
-    jobs.push_back({solvers.back().get(), spec.canonical(), spec.canonical()});
+    jobs.push_back({solvers.back().get(), spec.canonical(), spec.canonical(),
+                    /*shareable=*/true});
   }
   return run_jobs(jobs);
 }
@@ -97,9 +99,11 @@ PipelineReport MatchingPipeline::run_with(
   jobs.reserve(solvers.size());
   for (std::size_t s = 0; s < solvers.size(); ++s)
     // Keyed by position: a caller-tuned solver object is only identical to
-    // itself (its options are not observable through the interface).
+    // itself (its options are not observable through the interface), so
+    // these jobs also stay out of any cross-batch shared cache.
     jobs.push_back({solvers[s].get(), solvers[s]->name(),
-                    solvers[s]->name() + "#" + std::to_string(s)});
+                    solvers[s]->name() + "#" + std::to_string(s),
+                    /*shareable=*/false});
   return run_jobs(jobs);
 }
 
@@ -136,45 +140,42 @@ PipelineReport MatchingPipeline::run_jobs(const std::vector<JobSpec>& solvers) {
 
   const auto run_one = [&](std::size_t j, device::Device& dev) {
     const PipelineInstance& inst = instances_[j / per_instance];
-    const Solver& solver = *solvers[j % per_instance].solver;
-    const SolveContext ctx{.device = &dev, .threads = options_.solver_threads};
+    const JobSpec& spec = solvers[j % per_instance];
     PipelineJob job;
     job.instance = j / per_instance;
-    job.solver = solvers[j % per_instance].label;
-    try {
-      SolveResult result = solver.run(ctx, inst.graph, inst.init);
-      job.stats = std::move(result.stats);
-      job.ok = true;
-      if (options_.verify) {
-        if (!result.matching.is_valid(inst.graph)) {
-          job.ok = false;
-          job.error = "invalid matching: " +
-                      result.matching.first_violation(inst.graph);
-        } else if (solver.caps().exact &&
-                   job.stats.cardinality != inst.maximum_cardinality) {
-          job.ok = false;
-          job.error = "not maximum: got " +
-                      std::to_string(job.stats.cardinality) + ", want " +
-                      std::to_string(inst.maximum_cardinality);
-        } else if (solver.caps().exact &&
-                   !matching::is_maximum(inst.graph, result.matching)) {
-          // Independent Berge certificate, deliberately redundant with
-          // the reference-cardinality check so a bug shared by the
-          // solver and the ground-truth HK cannot slip through.
-          job.ok = false;
-          job.error = "Berge certificate failed: an augmenting path exists";
-        } else if (!solver.caps().exact &&
-                   job.stats.cardinality > inst.maximum_cardinality) {
-          job.ok = false;
-          job.error = "cardinality " + std::to_string(job.stats.cardinality) +
-                      " exceeds the reference maximum " +
-                      std::to_string(inst.maximum_cardinality);
-        }
+    job.solver = spec.label;
+    // Cross-batch cache: canonical-spec jobs may have been solved by an
+    // earlier batch (or another pipeline/service sharing the cache).
+    const bool shared =
+        options_.cache_results && options_.shared_cache && spec.shareable;
+    if (shared) {
+      if (const std::optional<JobOutcome> hit =
+              options_.shared_cache->get(inst.fingerprint, spec.cache_key)) {
+        job.stats = hit->stats;
+        job.ok = hit->ok;
+        job.error = hit->error;
+        job.cached = true;
+        // Not re-charged: the work happened in the batch that solved it.
+        job.stats.wall_ms = 0.0;
+        job.stats.modeled_ms = 0.0;
+        job.stats.device_launches = 0;
+        report.jobs[j] = std::move(job);
+        return;
       }
-    } catch (const std::exception& e) {
-      job.ok = false;
-      job.error = e.what();
     }
+    const SolveContext ctx{.device = &dev, .threads = options_.solver_threads};
+    JobOutcome out =
+        run_verified(*spec.solver, ctx, inst.graph, inst.init,
+                     options_.verify ? inst.maximum_cardinality : -1);
+    // Only *verified* results are published: a verify-off batch may read
+    // the shared cache (its entries all passed verification when written)
+    // but must not seed it with unchecked outcomes that a later verifying
+    // consumer would serve as ok.
+    if (shared && out.ok && options_.verify)
+      options_.shared_cache->put(inst.fingerprint, spec.cache_key, out);
+    job.stats = std::move(out.stats);
+    job.ok = out.ok;
+    job.error = std::move(out.error);
     report.jobs[j] = std::move(job);  // each job index is written once
   };
 

@@ -13,6 +13,10 @@
 
 namespace bpm {
 
+namespace serve {
+class ResultCache;
+}  // namespace serve
+
 struct PipelineOptions {
   /// Execution mode of the pipeline's shared device engine (used by every
   /// needs-device solver in the batch).
@@ -28,6 +32,13 @@ struct PipelineOptions {
   /// occurred earlier in the batch from that job's result instead of
   /// re-solving; hits are flagged on the job and counted in the totals.
   bool cache_results = true;
+  /// Optional process-lifetime result cache shared *across* batches (and
+  /// with `serve::MatchingService`): jobs selected by canonical spec
+  /// (`run`/`run_specs`) consult it before solving and publish verified
+  /// results into it.  Jobs from `run_with` never touch it — a caller-tuned
+  /// solver object's configuration is not observable, so it has no stable
+  /// cross-batch identity.  Null (the default) keeps caching batch-local.
+  std::shared_ptr<serve::ResultCache> shared_cache;
   /// Check every job's matching: edge-validity plus maximality against the
   /// per-instance reference cardinality (heuristic solvers are only
   /// required to be valid and ≤ maximum).
@@ -55,6 +66,16 @@ struct PipelineInstance {
   /// keys the result cache.
   std::uint64_t fingerprint = 0;
 };
+
+/// Builds the per-instance shared state the honoured `options` ask for:
+/// the shared init, the reference maximum cardinality (when verifying),
+/// and the structural fingerprint.  `MatchingPipeline::add_instance` and
+/// `serve::InstanceStore` both admit through this, so a pipeline batch and
+/// a serving process agree bit-for-bit on inits, ground truth, and cache
+/// identity.
+[[nodiscard]] PipelineInstance admit_instance(std::string name,
+                                              graph::BipartiteGraph graph,
+                                              const PipelineOptions& options);
 
 /// Outcome of one (instance × solver) job.
 struct PipelineJob {
@@ -125,6 +146,12 @@ class MatchingPipeline {
   /// index used in `PipelineJob::instance`.
   std::size_t add_instance(std::string name, graph::BipartiteGraph graph);
 
+  /// Admits an already-built instance (e.g. a harness's precomputed suite
+  /// or another pipeline's) without redoing the init / ground-truth work;
+  /// the caller guarantees its fields are consistent with this pipeline's
+  /// options.
+  std::size_t add_instance(PipelineInstance instance);
+
   [[nodiscard]] const std::vector<PipelineInstance>& instances() const {
     return instances_;
   }
@@ -150,6 +177,10 @@ class MatchingPipeline {
   /// runs without re-admitting instances.
   void set_max_concurrent_jobs(unsigned n) { options_.max_concurrent_jobs = n; }
 
+  /// Attach (or detach, with null) a cross-batch result cache between
+  /// runs — see `PipelineOptions::shared_cache`.
+  void set_shared_cache(std::shared_ptr<serve::ResultCache> cache);
+
   /// The engine whose streams execute the batch's device jobs.
   [[nodiscard]] const std::shared_ptr<device::Engine>& engine() const {
     return engine_;
@@ -165,6 +196,9 @@ class MatchingPipeline {
     std::string label;      ///< reported as PipelineJob::solver (canonical
                             ///< spec, so tuned variants are tellable apart)
     std::string cache_key;  ///< identity of the solver's configuration
+    /// The cache key is a canonical spec, stable across batches and
+    /// processes — only such jobs may use PipelineOptions::shared_cache.
+    bool shareable = false;
   };
 
   [[nodiscard]] PipelineReport run_jobs(const std::vector<JobSpec>& solvers);

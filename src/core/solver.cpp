@@ -13,6 +13,7 @@
 #include "matching/hopcroft_karp.hpp"
 #include "matching/pothen_fan.hpp"
 #include "matching/seq_pr.hpp"
+#include "matching/verify.hpp"
 #include "multicore/pdbfs.hpp"
 #include "util/timer.hpp"
 
@@ -490,6 +491,45 @@ SolveResult solve(const std::string& solver_name, const SolveContext& ctx,
                   const graph::BipartiteGraph& g,
                   const matching::Matching& init) {
   return SolverRegistry::instance().create(solver_name)->run(ctx, g, init);
+}
+
+JobOutcome run_verified(const Solver& solver, const SolveContext& ctx,
+                        const graph::BipartiteGraph& g,
+                        const matching::Matching& init,
+                        graph::index_t reference_maximum) {
+  JobOutcome out;
+  try {
+    SolveResult result = solver.run(ctx, g, init);
+    out.stats = std::move(result.stats);
+    out.ok = true;
+    if (reference_maximum < 0) return out;
+    if (!result.matching.is_valid(g)) {
+      out.ok = false;
+      out.error = "invalid matching: " + result.matching.first_violation(g);
+    } else if (solver.caps().exact &&
+               out.stats.cardinality != reference_maximum) {
+      out.ok = false;
+      out.error = "not maximum: got " + std::to_string(out.stats.cardinality) +
+                  ", want " + std::to_string(reference_maximum);
+    } else if (solver.caps().exact &&
+               !matching::is_maximum(g, result.matching)) {
+      // Independent Berge certificate, deliberately redundant with the
+      // reference-cardinality check so a bug shared by the solver and the
+      // ground-truth HK cannot slip through.
+      out.ok = false;
+      out.error = "Berge certificate failed: an augmenting path exists";
+    } else if (!solver.caps().exact &&
+               out.stats.cardinality > reference_maximum) {
+      out.ok = false;
+      out.error = "cardinality " + std::to_string(out.stats.cardinality) +
+                  " exceeds the reference maximum " +
+                  std::to_string(reference_maximum);
+    }
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.error = e.what();
+  }
+  return out;
 }
 
 }  // namespace bpm

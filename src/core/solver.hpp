@@ -166,4 +166,28 @@ class SolverRegistry {
                                 const graph::BipartiteGraph& g,
                                 const matching::Matching& init);
 
+/// The result-shaped outcome of one verified solver run: the stats, whether
+/// the run completed *and* passed verification, and why not otherwise.
+/// This is the unit the batched pipeline reports per job and the serving
+/// layer's `serve::ResultCache` stores per (instance, solver spec) key.
+struct JobOutcome {
+  SolveStats stats;
+  bool ok = false;
+  std::string error;
+};
+
+/// Runs `solver` from `init` and verifies the matching: edge-validity, the
+/// reference-cardinality check against `reference_maximum`, an independent
+/// Berge certificate for exact solvers, and the `<= maximum` bound for
+/// heuristics.  Pass `reference_maximum = -1` to skip verification (the
+/// run itself is still guarded: a throwing solver yields `ok == false`
+/// with the exception text, never an exception).  Shared by
+/// `MatchingPipeline` and `serve::MatchingService` so both layers accept
+/// and reject results by exactly the same rules.
+[[nodiscard]] JobOutcome run_verified(const Solver& solver,
+                                      const SolveContext& ctx,
+                                      const graph::BipartiteGraph& g,
+                                      const matching::Matching& init,
+                                      graph::index_t reference_maximum);
+
 }  // namespace bpm

@@ -7,4 +7,21 @@ Engine::Engine(ExecMode mode, unsigned num_threads) : mode_(mode) {
     pool_ = std::make_unique<ThreadPool>(num_threads);
 }
 
+EngineStats Engine::stats() const {
+  const std::scoped_lock lock(stats_mutex_);
+  return stats_;
+}
+
+void Engine::note_stream_opened() {
+  const std::scoped_lock lock(stats_mutex_);
+  ++stats_.streams_opened;
+}
+
+void Engine::retire_stream(std::uint64_t launches, double modeled_us) {
+  const std::scoped_lock lock(stats_mutex_);
+  ++stats_.streams_retired;
+  stats_.launches += launches;
+  stats_.modeled_ms += modeled_us / 1e3;
+}
+
 }  // namespace bpm::device

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -65,11 +66,25 @@ struct alignas(64) PaddedCount {
   std::int64_t value = 0;
 };
 
+/// Lifetime aggregates of one engine: how many streams it has served and
+/// the launch/model totals those streams retired into it.  This is the
+/// counter a long-running serving process reports — per-job streams come
+/// and go, the engine's totals survive them all.
+struct EngineStats {
+  std::uint64_t streams_opened = 0;
+  std::uint64_t streams_retired = 0;
+  /// Totals folded in by retired streams (live streams' counters are
+  /// theirs until destruction, so two streams' stats never mix).
+  std::uint64_t launches = 0;
+  double modeled_ms = 0.0;
+};
+
 /// The shared execution backend of a device: the worker pool and the
 /// execution mode.  One engine is created per simulated GPU; any number of
 /// `Device` streams borrow its workers concurrently.  The engine itself is
 /// stateless per launch — all launch counting and time modeling lives in
-/// the streams — so sharing it never mixes two streams' stats.
+/// the streams — so sharing it never mixes two streams' stats; each stream
+/// folds its totals into the engine's `EngineStats` when it retires.
 class Engine {
  public:
   explicit Engine(ExecMode mode = ExecMode::kConcurrent,
@@ -81,9 +96,19 @@ class Engine {
   }
   [[nodiscard]] ThreadPool* pool() { return pool_.get(); }
 
+  /// Lifetime aggregates (streams opened/retired, retired launch and
+  /// modeled-time totals).  Safe to call concurrently with stream churn.
+  [[nodiscard]] EngineStats stats() const;
+
+  /// Stream bookkeeping, called by `Device`.
+  void note_stream_opened();
+  void retire_stream(std::uint64_t launches, double modeled_us);
+
  private:
   ExecMode mode_;
   std::unique_ptr<ThreadPool> pool_;
+  mutable std::mutex stats_mutex_;
+  EngineStats stats_;
 };
 
 /// A CUDA-style bulk-synchronous execution stream on host threads.
@@ -115,11 +140,26 @@ class Device {
   /// A device with its own private engine (the pre-stream behaviour).
   explicit Device(DeviceOptions options = {})
       : engine_(std::make_shared<Engine>(options.mode, options.num_threads)),
-        model_(options.model) {}
+        model_(options.model) {
+    engine_->note_stream_opened();
+  }
 
   /// A stream on `engine`: borrowed workers, own stats.
   explicit Device(std::shared_ptr<Engine> engine, DeviceModel model = {})
-      : engine_(std::move(engine)), model_(model) {}
+      : engine_(std::move(engine)), model_(model) {
+    engine_->note_stream_opened();
+  }
+
+  /// Streams are movable but not copyable: each one's counters retire
+  /// into the engine's lifetime stats exactly once, on destruction.
+  Device(Device&&) noexcept = default;
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+  Device& operator=(Device&&) = delete;
+
+  ~Device() {
+    if (engine_) engine_->retire_stream(launches_, modeled_us_);
+  }
 
   [[nodiscard]] const std::shared_ptr<Engine>& engine() const {
     return engine_;

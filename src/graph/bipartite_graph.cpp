@@ -74,4 +74,18 @@ std::string BipartiteGraph::describe() const {
   return os.str();
 }
 
+std::uint64_t structural_fingerprint(const BipartiteGraph& g) {
+  // FNV-1a over the dimensions and the row-side CSR.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(g.num_rows()));
+  mix(static_cast<std::uint64_t>(g.num_cols()));
+  for (const offset_t p : g.row_ptr()) mix(static_cast<std::uint64_t>(p));
+  for (const index_t a : g.row_adj()) mix(static_cast<std::uint64_t>(a));
+  return h;
+}
+
 }  // namespace bpm::graph

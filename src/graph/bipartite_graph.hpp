@@ -93,4 +93,10 @@ class BipartiteGraph {
   std::vector<index_t> col_adj_;
 };
 
+/// Structural hash of a graph (dimensions + row-side CSR; the column side
+/// is derived from it, so hashing one direction identifies the graph).
+/// Two graphs with equal fingerprints are the same structure — this is the
+/// identity that keys result caches and dedups instance stores.
+[[nodiscard]] std::uint64_t structural_fingerprint(const BipartiteGraph& g);
+
 }  // namespace bpm::graph

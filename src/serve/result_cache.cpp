@@ -1,0 +1,209 @@
+#include "serve/result_cache.hpp"
+
+#include <fstream>
+#include <functional>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bpm::serve {
+namespace {
+
+constexpr std::string_view kMagic = "bpm-result-cache";
+constexpr int kVersion = 1;
+
+/// Fixed per-entry overhead charged on top of the variable-length strings:
+/// the Entry node, the index buckets, and the list bookkeeping.  An
+/// estimate — the budget bounds footprint, it does not meter the allocator.
+constexpr std::size_t kEntryOverhead = 128;
+
+std::uint64_t key_hash(std::uint64_t fingerprint, std::string_view solver) {
+  // Splitmix-style finalizer over the fingerprint, mixed with the solver
+  // string hash, so consecutive fingerprints spread over the shards.
+  std::uint64_t h = fingerprint + 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  h ^= std::hash<std::string_view>{}(solver);
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+ResultCache::ResultCache(CacheOptions options) : options_(options) {
+  if (options_.shards == 0) options_.shards = 1;
+  shards_.reserve(options_.shards);
+  for (unsigned s = 0; s < options_.shards; ++s)
+    shards_.push_back(std::make_unique<Shard>());
+  shard_budget_ = options_.byte_budget / shards_.size();
+  if (shard_budget_ == 0) shard_budget_ = 1;
+}
+
+ResultCache::Shard& ResultCache::shard_for(std::uint64_t fingerprint,
+                                           std::string_view solver) {
+  return *shards_[key_hash(fingerprint, solver) % shards_.size()];
+}
+
+std::size_t ResultCache::entry_bytes(std::string_view solver,
+                                     const JobOutcome& outcome) {
+  return kEntryOverhead + solver.size() + outcome.stats.detail.size() +
+         outcome.error.size();
+}
+
+std::optional<JobOutcome> ResultCache::get(std::uint64_t fingerprint,
+                                           std::string_view solver) {
+  Shard& shard = shard_for(fingerprint, solver);
+  const std::scoped_lock lock(shard.mutex);
+  const auto by_fp = shard.index.find(fingerprint);
+  if (by_fp != shard.index.end()) {
+    const auto it = by_fp->second.find(solver);
+    if (it != by_fp->second.end()) {
+      ++shard.hits;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return it->second->outcome;
+    }
+  }
+  ++shard.misses;
+  return std::nullopt;
+}
+
+void ResultCache::put_locked(Shard& shard, std::uint64_t fingerprint,
+                             std::string_view solver,
+                             const JobOutcome& outcome) {
+  const std::size_t bytes = entry_bytes(solver, outcome);
+  auto& by_solver = shard.index[fingerprint];
+  if (const auto it = by_solver.find(solver); it != by_solver.end()) {
+    // Overwrite in place and refresh recency.
+    shard.bytes -= it->second->bytes;
+    it->second->outcome = outcome;
+    it->second->bytes = bytes;
+    shard.bytes += bytes;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    shard.lru.push_front(
+        Entry{fingerprint, std::string(solver), outcome, bytes});
+    by_solver.emplace(std::string(solver), shard.lru.begin());
+    shard.bytes += bytes;
+    ++shard.insertions;
+  }
+  // Evict least-recently-used entries until the shard fits its slice of
+  // the budget; the entry just touched is at the front and always kept,
+  // so a single oversized result still caches (alone).
+  while (shard.bytes > shard_budget_ && shard.lru.size() > 1) {
+    const Entry& victim = shard.lru.back();
+    auto vfp = shard.index.find(victim.fingerprint);
+    vfp->second.erase(victim.solver);
+    if (vfp->second.empty()) shard.index.erase(vfp);
+    shard.bytes -= victim.bytes;
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void ResultCache::put(std::uint64_t fingerprint, std::string_view solver,
+                      const JobOutcome& outcome) {
+  Shard& shard = shard_for(fingerprint, solver);
+  const std::scoped_lock lock(shard.mutex);
+  put_locked(shard, fingerprint, solver, outcome);
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats out;
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mutex);
+    out.entries += shard->lru.size();
+    out.bytes += shard->bytes;
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.insertions += shard->insertions;
+    out.evictions += shard->evictions;
+  }
+  return out;
+}
+
+void ResultCache::clear() {
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+}
+
+void ResultCache::save(std::ostream& os) const {
+  // One pass: count and serialize each shard under its lock, emit the
+  // header afterwards — so the entry count always matches the records
+  // even while other threads keep inserting/evicting concurrently (the
+  // snapshot is some consistent-per-shard interleaving).
+  std::size_t entries = 0;
+  std::ostringstream records;
+  records << std::setprecision(17);  // doubles round-trip exactly
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mutex);
+    entries += shard->lru.size();
+    // LRU-first, so replaying the records through `put` reproduces the
+    // shard's recency order (the last record re-put becomes the MRU).
+    for (auto it = shard->lru.rbegin(); it != shard->lru.rend(); ++it) {
+      const JobOutcome& o = it->outcome;
+      records << it->fingerprint << ' ' << (o.ok ? 1 : 0) << ' '
+              << o.stats.cardinality << ' ' << o.stats.wall_ms << ' '
+              << o.stats.modeled_ms << ' ' << o.stats.device_launches << ' '
+              << o.stats.iterations << ' ' << it->solver.size() << ' '
+              << o.stats.detail.size() << ' ' << o.error.size() << '\n'
+              << it->solver << o.stats.detail << o.error << '\n';
+    }
+  }
+  os << kMagic << ' ' << kVersion << ' ' << entries << '\n' << records.str();
+}
+
+bool ResultCache::save_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return false;
+  save(os);
+  return static_cast<bool>(os);
+}
+
+std::size_t ResultCache::load(std::istream& is) {
+  std::string magic;
+  int version = -1;
+  std::size_t entries = 0;
+  if (!(is >> magic >> version >> entries) || magic != kMagic)
+    throw std::runtime_error("not a bpm result-cache snapshot");
+  if (version != kVersion)
+    throw std::runtime_error("unsupported result-cache snapshot version " +
+                             std::to_string(version));
+  for (std::size_t n = 0; n < entries; ++n) {
+    std::uint64_t fingerprint = 0;
+    int ok = 0;
+    std::size_t solver_len = 0, detail_len = 0, error_len = 0;
+    JobOutcome o;
+    if (!(is >> fingerprint >> ok >> o.stats.cardinality >> o.stats.wall_ms >>
+          o.stats.modeled_ms >> o.stats.device_launches >>
+          o.stats.iterations >> solver_len >> detail_len >> error_len))
+      throw std::runtime_error("truncated result-cache snapshot (entry " +
+                               std::to_string(n) + ")");
+    o.ok = ok != 0;
+    is.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+    std::string payload(solver_len + detail_len + error_len, '\0');
+    if (!is.read(payload.data(),
+                 static_cast<std::streamsize>(payload.size())) ||
+        is.get() != '\n')
+      throw std::runtime_error("truncated result-cache snapshot (entry " +
+                               std::to_string(n) + ")");
+    const std::string solver = payload.substr(0, solver_len);
+    o.stats.detail = payload.substr(solver_len, detail_len);
+    o.error = payload.substr(solver_len + detail_len, error_len);
+    put(fingerprint, solver, o);
+  }
+  return entries;
+}
+
+std::size_t ResultCache::load_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return 0;
+  return load(is);
+}
+
+}  // namespace bpm::serve

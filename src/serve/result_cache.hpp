@@ -1,0 +1,146 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/solver.hpp"
+
+namespace bpm::serve {
+
+struct CacheOptions {
+  /// Upper bound on the total estimated bytes of cached entries.  The
+  /// budget is split evenly over the shards; inserting always succeeds —
+  /// least-recently-used entries of the target shard are evicted until the
+  /// shard fits again (a single oversized entry is kept alone).
+  std::size_t byte_budget = std::size_t{64} << 20;
+  /// Number of independently locked shards (rounded up to at least 1).
+  /// Concurrent hits on different shards never contend on one mutex.
+  unsigned shards = 8;
+};
+
+/// Aggregate counters over all shards.  `hits`/`misses` count `get` calls,
+/// `insertions`/`evictions` count entries entering and leaving;
+/// `entries`/`bytes` are the current footprint.
+struct CacheStats {
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// Process-lifetime result cache for matching runs: a sharded, byte-budgeted
+/// LRU keyed by (instance fingerprint, canonical solver spec) storing the
+/// verified `JobOutcome` of the run.  Producers (`MatchingPipeline`,
+/// `serve::MatchingService`) only publish results that passed
+/// verification, so every entry — and every snapshot — is trustworthy to
+/// any consumer regardless of its own verify setting.  This is `MatchingPipeline`'s result
+/// cache factored out of the batch: one `ResultCache` can be shared across
+/// any number of pipelines, batches, and `serve::MatchingService` requests
+/// for the lifetime of a serving process, and snapshotted to disk so a
+/// restarted service warms from where the previous one left off.
+///
+/// Thread safety: all members are safe to call concurrently; each shard has
+/// its own mutex, chosen by the key hash.
+///
+/// ```
+/// auto cache = std::make_shared<serve::ResultCache>(
+///     serve::CacheOptions{.byte_budget = 32 << 20});
+/// bpm::MatchingPipeline pipe({.shared_cache = cache});  // batches now share
+/// cache->save_file("bpm.cache");                        // ...and persist
+/// ```
+class ResultCache {
+ public:
+  explicit ResultCache(CacheOptions options = {});
+
+  /// Looks up (fingerprint, solver) and refreshes its recency.  Counts a
+  /// hit or a miss.
+  [[nodiscard]] std::optional<JobOutcome> get(std::uint64_t fingerprint,
+                                              std::string_view solver);
+
+  /// Inserts or overwrites the entry, making it most-recently used, then
+  /// evicts LRU entries of the shard until it fits its byte budget again.
+  void put(std::uint64_t fingerprint, std::string_view solver,
+           const JobOutcome& outcome);
+
+  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] std::size_t byte_budget() const { return options_.byte_budget; }
+  [[nodiscard]] unsigned num_shards() const {
+    return static_cast<unsigned>(shards_.size());
+  }
+
+  /// Drops every entry (counters for hits/misses/... are kept).
+  void clear();
+
+  /// Writes every entry as a versioned, self-delimiting snapshot.  Entries
+  /// are emitted shard by shard, least-recently-used first, so loading a
+  /// snapshot into an empty cache with the same options reproduces both
+  /// the contents and the eviction order — save → load → save is
+  /// byte-identical.
+  void save(std::ostream& os) const;
+  /// `save` to a file; returns false (and leaves no partial file behind
+  /// the caller cares about) if the file cannot be written.
+  bool save_file(const std::string& path) const;
+
+  /// Merges a snapshot into this cache via `put` (budget enforced as
+  /// usual).  Returns the number of entries read.  Throws
+  /// `std::runtime_error` on a malformed or version-mismatched snapshot.
+  std::size_t load(std::istream& is);
+  /// `load` from a file; returns 0 if the file does not exist or cannot be
+  /// read (a cold start is not an error for a warming service).
+  std::size_t load_file(const std::string& path);
+
+ private:
+  struct Entry {
+    std::uint64_t fingerprint = 0;
+    std::string solver;
+    JobOutcome outcome;
+    std::size_t bytes = 0;
+  };
+
+  /// Transparent hashing so the hot-path `get`/`put` look up by
+  /// string_view without materialising a std::string under the shard lock.
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  using SolverIndex =
+      std::unordered_map<std::string, std::list<Entry>::iterator, StringHash,
+                         std::equal_to<>>;
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<std::uint64_t, SolverIndex>
+        index;  ///< fingerprint -> solver -> LRU position
+    std::size_t bytes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::uint64_t fingerprint,
+                                 std::string_view solver);
+  [[nodiscard]] static std::size_t entry_bytes(std::string_view solver,
+                                               const JobOutcome& outcome);
+  void put_locked(Shard& shard, std::uint64_t fingerprint,
+                  std::string_view solver, const JobOutcome& outcome);
+
+  CacheOptions options_;
+  std::size_t shard_budget_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace bpm::serve

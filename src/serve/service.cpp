@@ -1,0 +1,243 @@
+#include "serve/service.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/timer.hpp"
+
+namespace bpm::serve {
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+MatchingService::MatchingService(ServiceOptions options)
+    : options_(std::move(options)),
+      engine_(std::make_shared<device::Engine>(options_.device_mode,
+                                               options_.device_threads)),
+      store_([&] {
+        PipelineOptions admit;
+        admit.verify = options_.verify;
+        admit.share_init = options_.share_init;
+        admit.init_builder = options_.init_builder;
+        return admit;
+      }()) {
+  unsigned workers = options_.workers;
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  workers_.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+MatchingService::~MatchingService() { shutdown(); }
+
+InstanceStore::AddResult MatchingService::add_instance(
+    std::string name, graph::BipartiteGraph graph) {
+  return store_.add(std::move(name), std::move(graph));
+}
+
+InstanceStore::AddResult MatchingService::add_instance(
+    PipelineInstance instance) {
+  return store_.add(std::move(instance));
+}
+
+Submission MatchingService::submit(Request request) {
+  Submission out;
+  // Instantiate outside the lock: spec validation (unknown name, unknown
+  // or malformed option) is the expensive, throwing part.
+  std::unique_ptr<Solver> solver;
+  std::string canonical;
+  std::string reject;
+  try {
+    solver = request.spec.instantiate();
+    canonical = request.spec.canonical();
+  } catch (const std::exception& e) {
+    reject = e.what();
+  }
+  if (reject.empty() && request.instance >= store_.size())
+    reject = "unknown instance handle " + std::to_string(request.instance);
+
+  const std::unique_lock lock(mutex_);
+  ++stats_.submitted;
+  if (reject.empty() && !accepting_) reject = "service is shutting down";
+  if (reject.empty() && queue_.size() >= options_.queue_depth)
+    reject = "admission queue full (depth " +
+             std::to_string(options_.queue_depth) + ")";
+  if (!reject.empty()) {
+    ++stats_.rejected;
+    out.reason = std::move(reject);
+    return out;
+  }
+
+  auto queued = std::make_unique<Queued>();
+  queued->ticket = next_ticket_++;
+  queued->instance = request.instance;
+  queued->priority = request.priority;
+  queued->deadline_ms = request.deadline_ms;
+  queued->canonical = std::move(canonical);
+  queued->solver = std::move(solver);
+  queued->submitted = std::chrono::steady_clock::now();
+
+  Pending& pending = pending_[queued->ticket];
+  pending.future = pending.promise.get_future().share();
+
+  out.accepted = true;
+  out.ticket = queued->ticket;
+  out.future = pending.future;
+  ++stats_.accepted;
+  queue_.push(std::move(queued));
+  work_cv_.notify_one();
+  return out;
+}
+
+void MatchingService::complete(Queued& q, Response&& response) {
+  response.ticket = q.ticket;
+  response.instance = q.instance;
+  response.solver = q.canonical;
+  response.total_ms = ms_since(q.submitted);
+
+  {
+    const std::unique_lock lock(mutex_);
+    ++stats_.completed;
+    if (!response.ok) ++stats_.failed;
+    if (response.cached) ++stats_.cache_hits;
+    stats_.queue_ms_total += response.queue_ms;
+    stats_.service_ms_total += response.service_ms;
+    pending_.at(q.ticket).promise.set_value(std::move(response));
+  }
+}
+
+void MatchingService::worker_loop() {
+  while (true) {
+    std::unique_ptr<Queued> q;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, nothing left to serve
+      // priority_queue::top is const; ownership still moves exactly once.
+      q = std::move(const_cast<std::unique_ptr<Queued>&>(queue_.top()));
+      queue_.pop();
+      ++in_flight_;
+    }
+
+    Response response;
+    response.queue_ms = ms_since(q->submitted);
+    const PipelineInstance& inst = store_.get(q->instance);
+    response.instance_name = inst.name;
+
+    if (q->deadline_ms > 0.0 && response.queue_ms > q->deadline_ms) {
+      response.ok = false;
+      response.error = "deadline expired: queued " +
+                       std::to_string(response.queue_ms) + " ms of a " +
+                       std::to_string(q->deadline_ms) + " ms budget";
+      {
+        const std::unique_lock lock(mutex_);
+        ++stats_.expired;
+      }
+      complete(*q, std::move(response));
+    } else {
+      std::optional<JobOutcome> hit;
+      if (options_.cache)
+        hit = options_.cache->get(inst.fingerprint, q->canonical);
+      if (hit) {
+        response.stats = hit->stats;
+        response.ok = hit->ok;
+        response.error = hit->error;
+        response.cached = true;
+        // Same convention as the pipeline's cache hits: the cost fields
+        // are not re-charged — the work happened in the run that solved
+        // it — so aggregating clients never double-count.
+        response.stats.wall_ms = 0.0;
+        response.stats.modeled_ms = 0.0;
+        response.stats.device_launches = 0;
+      } else {
+        Timer timer;
+        // One device stream per solved request: it retires its launch and
+        // modeled-time totals into the engine odometer on completion, so
+        // `engine_stats()` (and bpm_serve's `stats` command) track the
+        // serving process's device work live, not only at shutdown.
+        device::Device stream(engine_);
+        const SolveContext ctx{.device = &stream,
+                               .threads = options_.solver_threads};
+        JobOutcome out =
+            run_verified(*q->solver, ctx, inst.graph, inst.init,
+                         options_.verify ? inst.maximum_cardinality : -1);
+        response.service_ms = timer.elapsed_ms();
+        // Verified results only (see the pipeline's shared-cache rule): a
+        // --no-verify service never seeds the cache other consumers trust.
+        if (options_.cache && out.ok && options_.verify)
+          options_.cache->put(inst.fingerprint, q->canonical, out);
+        response.stats = std::move(out.stats);
+        response.ok = out.ok;
+        response.error = std::move(out.error);
+      }
+      complete(*q, std::move(response));
+    }
+
+    {
+      const std::unique_lock lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+std::optional<Response> MatchingService::poll(std::uint64_t ticket) const {
+  std::shared_future<Response> future;
+  {
+    const std::unique_lock lock(mutex_);
+    const auto it = pending_.find(ticket);
+    if (it == pending_.end())
+      throw std::invalid_argument("unknown ticket " + std::to_string(ticket));
+    future = it->second.future;
+  }
+  if (future.wait_for(std::chrono::seconds(0)) != std::future_status::ready)
+    return std::nullopt;
+  return future.get();
+}
+
+Response MatchingService::wait(std::uint64_t ticket) const {
+  std::shared_future<Response> future;
+  {
+    const std::unique_lock lock(mutex_);
+    const auto it = pending_.find(ticket);
+    if (it == pending_.end())
+      throw std::invalid_argument("unknown ticket " + std::to_string(ticket));
+    future = it->second.future;
+  }
+  return future.get();
+}
+
+void MatchingService::drain() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void MatchingService::shutdown() {
+  {
+    const std::unique_lock lock(mutex_);
+    accepting_ = false;
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_)
+    if (worker.joinable()) worker.join();
+}
+
+ServiceStats MatchingService::stats() const {
+  const std::unique_lock lock(mutex_);
+  ServiceStats out = stats_;
+  out.queued = queue_.size();
+  out.in_flight = in_flight_;
+  return out;
+}
+
+}  // namespace bpm::serve

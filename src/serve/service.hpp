@@ -1,0 +1,214 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/solver.hpp"
+#include "device/device.hpp"
+#include "serve/instance_store.hpp"
+#include "serve/result_cache.hpp"
+
+namespace bpm::serve {
+
+/// One asynchronous matching request: which admitted graph, which solver
+/// configuration, and how urgently.
+struct Request {
+  std::size_t instance = 0;  ///< handle from MatchingService::instances()
+  SolverSpec spec;
+  /// Higher priorities are served first; ties are FIFO by admission order.
+  int priority = 0;
+  /// Milliseconds from submission after which the request must not start
+  /// solving anymore — it completes immediately with `ok == false` and a
+  /// "deadline expired" error instead.  0 disables the deadline.
+  double deadline_ms = 0.0;
+};
+
+/// The completed request, delivered through the future and `poll`/`wait`.
+struct Response {
+  std::uint64_t ticket = 0;
+  std::size_t instance = 0;
+  std::string instance_name;
+  std::string solver;  ///< canonical spec
+  SolveStats stats;
+  bool ok = false;
+  bool cached = false;  ///< served from the result cache without solving
+  std::string error;
+  double queue_ms = 0.0;    ///< admission queue wait
+  double service_ms = 0.0;  ///< solve + verify (0 for cache hits)
+  double total_ms = 0.0;    ///< submission to completion
+};
+
+/// What `submit` hands back: an accepted request's ticket + future, or the
+/// reason admission rejected it (queue full, unknown instance, malformed
+/// spec, shutting down).  Rejection is backpressure, not an exception —
+/// load generators and clients are expected to see it under overload.
+struct Submission {
+  bool accepted = false;
+  std::uint64_t ticket = 0;
+  std::string reason;  ///< why not, when !accepted
+  std::shared_future<Response> future;
+};
+
+struct ServiceOptions {
+  /// Worker threads = requests solving concurrently, each on its own
+  /// device stream of the service's engine (0 = hardware concurrency).
+  unsigned workers = 1;
+  unsigned device_threads = 0;  ///< engine pool workers (0 = hardware)
+  unsigned solver_threads = 0;  ///< multicore solver workers (0 = hardware)
+  device::ExecMode device_mode = device::ExecMode::kConcurrent;
+  /// Admission queue depth; a submit beyond it is rejected with a reason
+  /// (bounded memory and latency under overload).
+  std::size_t queue_depth = 256;
+  /// Verify every result (reference cardinality is computed once per
+  /// admitted instance); exactly `MatchingPipeline`'s verification.
+  bool verify = true;
+  bool share_init = true;
+  std::function<matching::Matching(const graph::BipartiteGraph&)>
+      init_builder;
+  /// Result cache shared by all requests (and with any pipelines holding
+  /// the same pointer); null serves every request by solving.
+  std::shared_ptr<ResultCache> cache;
+};
+
+/// Lifetime counters of a service.  Completed = hits + solved + expired +
+/// failed-verification; rejected never entered the queue.
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;   ///< completed with ok == false (any cause)
+  std::uint64_t expired = 0;  ///< deadline passed while queued
+  std::uint64_t cache_hits = 0;
+  std::size_t queued = 0;     ///< snapshot: waiting for a worker
+  std::size_t in_flight = 0;  ///< snapshot: being solved right now
+  double queue_ms_total = 0.0;
+  double service_ms_total = 0.0;
+};
+
+/// A long-running matching service: owns one `device::Engine` for its
+/// whole lifetime, a fingerprint-deduped `InstanceStore`, and (optionally)
+/// a persistent `ResultCache`; accepts requests from any number of client
+/// threads and schedules them through a bounded, priority-ordered
+/// admission queue onto `workers` threads, each solving on its own device
+/// stream of the shared engine (one stream per solved request, retired
+/// into the engine's lifetime stats on completion).
+///
+/// ```
+/// serve::MatchingService svc({.workers = 4, .cache = cache});
+/// auto handle = svc.add_instance("web", std::move(graph)).handle;
+/// auto sub = svc.submit({.instance = handle,
+///                        .spec = SolverSpec::parse("g-pr-shr:k=1.5")});
+/// if (sub.accepted) Response r = sub.future.get();   // or poll(sub.ticket)
+/// ```
+///
+/// Results are bit-identical to a sequential `MatchingPipeline` run of the
+/// same (instance, spec) jobs: admission, solving, and verification all go
+/// through the same `admit_instance` / `run_verified` seams.
+class MatchingService {
+ public:
+  explicit MatchingService(ServiceOptions options = {});
+  /// Stops admission, completes everything still queued, joins workers.
+  ~MatchingService();
+
+  MatchingService(const MatchingService&) = delete;
+  MatchingService& operator=(const MatchingService&) = delete;
+
+  /// Registers a graph (deduped by structural fingerprint) and returns its
+  /// handle for `Request::instance`.
+  InstanceStore::AddResult add_instance(std::string name,
+                                        graph::BipartiteGraph graph);
+  /// Registers an already-admitted instance (init/ground truth reused).
+  InstanceStore::AddResult add_instance(PipelineInstance instance);
+  [[nodiscard]] const InstanceStore& instances() const { return store_; }
+
+  /// Admits a request or rejects it with a reason (never blocks on a full
+  /// queue — backpressure is the caller's signal to slow down).
+  Submission submit(Request request);
+
+  /// Non-blocking completion check: the response once the request is done,
+  /// `std::nullopt` while it is queued or solving.  Throws
+  /// `std::invalid_argument` for a ticket this service never issued.
+  [[nodiscard]] std::optional<Response> poll(std::uint64_t ticket) const;
+
+  /// Blocks until the ticket completes.
+  [[nodiscard]] Response wait(std::uint64_t ticket) const;
+
+  /// Blocks until the queue is empty and no request is in flight.
+  void drain();
+
+  /// Stops accepting, drains, joins the workers.  Idempotent; the
+  /// destructor calls it.
+  void shutdown();
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] const std::shared_ptr<ResultCache>& cache() const {
+    return options_.cache;
+  }
+  [[nodiscard]] const std::shared_ptr<device::Engine>& engine() const {
+    return engine_;
+  }
+  /// The engine's lifetime aggregates (streams served, launches retired) —
+  /// the serving process's device-side odometer.
+  [[nodiscard]] device::EngineStats engine_stats() const {
+    return engine_->stats();
+  }
+
+ private:
+  struct Queued {
+    std::uint64_t ticket = 0;
+    std::size_t instance = 0;
+    int priority = 0;
+    double deadline_ms = 0.0;
+    std::string canonical;  ///< cache key + reported solver label
+    std::unique_ptr<Solver> solver;
+    std::chrono::steady_clock::time_point submitted;
+  };
+  struct QueueOrder {
+    bool operator()(const std::unique_ptr<Queued>& a,
+                    const std::unique_ptr<Queued>& b) const {
+      if (a->priority != b->priority) return a->priority < b->priority;
+      return a->ticket > b->ticket;  // FIFO within a priority level
+    }
+  };
+  struct Pending {
+    std::promise<Response> promise;
+    std::shared_future<Response> future;
+  };
+
+  void worker_loop();
+  void complete(Queued& q, Response&& response);
+
+  ServiceOptions options_;
+  std::shared_ptr<device::Engine> engine_;
+  InstanceStore store_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< workers: queue non-empty / shutdown
+  std::condition_variable idle_cv_;  ///< drain: queue empty and none in flight
+  std::priority_queue<std::unique_ptr<Queued>,
+                      std::vector<std::unique_ptr<Queued>>, QueueOrder>
+      queue_;
+  std::map<std::uint64_t, Pending> pending_;  ///< ticket -> future state
+  ServiceStats stats_;
+  std::uint64_t next_ticket_ = 1;
+  std::size_t in_flight_ = 0;
+  bool accepting_ = true;
+  bool stopping_ = false;
+
+  std::vector<std::thread> workers_;  ///< last member: joins before teardown
+};
+
+}  // namespace bpm::serve

@@ -45,6 +45,12 @@ struct PerformanceProfile {
     std::span<const std::string> names,
     std::span<const std::vector<double>> times, std::span<const double> xs);
 
+/// Percentile by linear interpolation between order statistics (the
+/// "exclusive" definition degrades gracefully on small samples): `pct` in
+/// [0, 100], so `percentile(lat, 99)` is the p99.  Used by the serving
+/// load harness for latency distributions.  Returns 0 on an empty span.
+[[nodiscard]] double percentile(std::span<const double> values, double pct);
+
 /// Small descriptive summary used by test helpers and bench reports.
 struct Summary {
   double min = 0.0;

@@ -1,0 +1,457 @@
+// serve::MatchingService + serve::InstanceStore (src/serve/): async
+// submit/future and ticket-polling APIs, priority ordering, bounded-queue
+// backpressure, deadlines, instance dedup, cache accounting across
+// requests and batches (including pipeline sharing and snapshot reload).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "graph/generators.hpp"
+#include "serve/service.hpp"
+
+namespace bpm::serve {
+namespace {
+
+namespace gen = graph::gen;
+
+/// A registered test solver that sleeps: lets tests hold a worker busy for
+/// a deterministic window (to fill queues, test priorities and deadlines).
+class SleepSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string name() const override { return "test-sleep"; }
+  [[nodiscard]] SolverCaps caps() const override {
+    return {.deterministic = true, .exact = false};
+  }
+  bool set_option(std::string_view key, std::string_view value) override {
+    if (key != "ms") return false;
+    ms_ = std::stoi(std::string(value));
+    return true;
+  }
+  [[nodiscard]] SolveResult run(const SolveContext&,
+                                const graph::BipartiteGraph&,
+                                const matching::Matching& init) const override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms_));
+    SolveResult out{init, {}};
+    out.stats.cardinality = init.cardinality();
+    return out;
+  }
+
+ private:
+  int ms_ = 20;
+};
+
+[[maybe_unused]] const bool kRegistered = [] {
+  SolverRegistry::instance().add("test-sleep",
+                                 [] { return std::make_unique<SleepSolver>(); });
+  return true;
+}();
+
+Request request(std::size_t instance, const std::string& spec,
+                int priority = 0, double deadline_ms = 0.0) {
+  return {.instance = instance,
+          .spec = SolverSpec::parse(spec),
+          .priority = priority,
+          .deadline_ms = deadline_ms};
+}
+
+TEST(InstanceStore, DedupsByStructuralFingerprint) {
+  InstanceStore store;
+  const auto g = gen::random_uniform(200, 210, 900, 3);
+  const auto a = store.add("original", g);
+  const auto b = store.add("same-graph-new-name", g);
+  const auto c = store.add("other", gen::planted_perfect(100, 2.0, 9));
+  EXPECT_FALSE(a.deduplicated);
+  EXPECT_TRUE(b.deduplicated);
+  EXPECT_EQ(a.handle, b.handle);
+  EXPECT_FALSE(c.deduplicated);
+  EXPECT_NE(a.handle, c.handle);
+  EXPECT_EQ(store.size(), 2u);
+  // Both names resolve; the admitting registration's name is primary.
+  EXPECT_EQ(store.find("original"), a.handle);
+  EXPECT_EQ(store.find("same-graph-new-name"), a.handle);
+  EXPECT_FALSE(store.find("nope").has_value());
+  EXPECT_EQ(store.get(a.handle).name, "original");
+  EXPECT_THROW((void)store.get(99), std::out_of_range);
+
+  // Re-registering a *different* graph under a taken name re-points the
+  // name — submits against "original" must hit the new graph, not the old.
+  const auto d = store.add("original", gen::complete_bipartite(4, 4));
+  EXPECT_FALSE(d.deduplicated);
+  EXPECT_EQ(store.find("original"), d.handle);
+  EXPECT_EQ(store.get(d.handle).graph.num_rows(), 4);
+}
+
+TEST(InstanceStore, PrebuiltInstancesAdmitWithoutRecomputation) {
+  // The precomputed-admission seam: a PipelineInstance built elsewhere
+  // (here with a deliberately wrong "ground truth") is stored verbatim —
+  // proof the store reuses instead of recomputing — and still dedups.
+  InstanceStore store;
+  PipelineInstance inst;
+  inst.name = "prebuilt";
+  inst.graph = gen::complete_bipartite(6, 6);
+  inst.init = matching::Matching(inst.graph);
+  inst.maximum_cardinality = 123;  // sentinel: would be 6 if recomputed
+  const auto a = store.add(inst);
+  EXPECT_FALSE(a.deduplicated);
+  EXPECT_EQ(store.get(a.handle).maximum_cardinality, 123);
+  const auto b = store.add("same-structure", gen::complete_bipartite(6, 6));
+  EXPECT_TRUE(b.deduplicated);
+  EXPECT_EQ(b.handle, a.handle);
+}
+
+TEST(Service, SubmitFutureDeliversVerifiedResults) {
+  MatchingService svc({.workers = 2});
+  const auto g = gen::random_uniform(300, 310, 1500, 11);
+  const auto handle = svc.add_instance("g", g).handle;
+
+  // The expected outcome, from a sequential pipeline on the same graph.
+  MatchingPipeline pipe({.max_concurrent_jobs = 1});
+  pipe.add_instance("g", g);
+  const PipelineReport ref = pipe.run({"g-pr-shr:k=1.5", "hk", "p-dbfs"});
+  ASSERT_TRUE(ref.all_ok());
+
+  std::vector<Submission> subs;
+  for (const std::string spec : {"g-pr-shr:k=1.5", "hk", "p-dbfs"})
+    subs.push_back(svc.submit(request(handle, spec)));
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    ASSERT_TRUE(subs[i].accepted) << subs[i].reason;
+    const Response r = subs[i].future.get();
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.solver, ref.jobs[i].solver);
+    EXPECT_EQ(r.stats.cardinality, ref.jobs[i].stats.cardinality);
+    EXPECT_EQ(r.instance_name, "g");
+    EXPECT_GE(r.total_ms, r.service_ms);
+  }
+  const ServiceStats s = svc.stats();
+  EXPECT_EQ(s.submitted, 3u);
+  EXPECT_EQ(s.accepted, 3u);
+  EXPECT_EQ(s.completed, 3u);
+  EXPECT_EQ(s.failed, 0u);
+}
+
+TEST(Service, TicketPollingCompletesWithoutFutures) {
+  MatchingService svc({.workers = 1});
+  const auto handle =
+      svc.add_instance("g", gen::chung_lu(250, 260, 4.0, 2.4, 7)).handle;
+  const Submission sub = svc.submit(request(handle, "hk"));
+  ASSERT_TRUE(sub.accepted);
+  // Poll until done — no deadline needed, the solve is milliseconds.
+  std::optional<Response> r;
+  while (!(r = svc.poll(sub.ticket)))
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(r->ok) << r->error;
+  EXPECT_EQ(r->ticket, sub.ticket);
+  // Polling again returns the same completed response.
+  EXPECT_EQ(svc.poll(sub.ticket)->stats.cardinality, r->stats.cardinality);
+  EXPECT_THROW((void)svc.poll(777), std::invalid_argument);
+}
+
+TEST(Service, RejectsBadRequestsWithReasons) {
+  MatchingService svc({.workers = 1});
+  const auto handle =
+      svc.add_instance("g", gen::complete_bipartite(8, 8)).handle;
+
+  const Submission unknown_instance = svc.submit(request(handle + 50, "hk"));
+  EXPECT_FALSE(unknown_instance.accepted);
+  EXPECT_NE(unknown_instance.reason.find("unknown instance"),
+            std::string::npos);
+
+  const Submission bad_spec = svc.submit(request(handle, "no-such-solver"));
+  EXPECT_FALSE(bad_spec.accepted);
+  EXPECT_FALSE(bad_spec.reason.empty());
+
+  EXPECT_EQ(svc.stats().rejected, 2u);
+  EXPECT_EQ(svc.stats().accepted, 0u);
+}
+
+TEST(Service, BoundedQueueRejectsWithBackpressure) {
+  // One worker, queue depth 2: a sleeping request holds the worker, the
+  // next two fill the queue, the fourth must bounce.
+  MatchingService svc({.workers = 1, .queue_depth = 2});
+  const auto handle =
+      svc.add_instance("g", gen::complete_bipartite(8, 8)).handle;
+  const Submission blocker =
+      svc.submit(request(handle, "test-sleep:ms=300"));
+  ASSERT_TRUE(blocker.accepted);
+  // The blocker may still be queued or already running; either way two
+  // more fit at most.
+  std::size_t rejected = 0;
+  std::vector<Submission> rest;
+  for (int i = 0; i < 4; ++i) {
+    Submission sub = svc.submit(request(handle, "hk"));
+    if (!sub.accepted) {
+      ++rejected;
+      EXPECT_NE(sub.reason.find("admission queue full"), std::string::npos)
+          << sub.reason;
+    } else {
+      rest.push_back(std::move(sub));
+    }
+  }
+  EXPECT_GE(rejected, 1u);
+  EXPECT_EQ(svc.stats().rejected, rejected);
+  for (const Submission& sub : rest) EXPECT_TRUE(sub.future.get().ok);
+  (void)blocker.future.get();
+}
+
+TEST(Service, HigherPriorityJumpsTheQueue) {
+  MatchingService svc({.workers = 1});
+  const auto handle =
+      svc.add_instance("g", gen::complete_bipartite(8, 8)).handle;
+  // Hold the single worker so the next submissions pile up in the queue.
+  const Submission blocker =
+      svc.submit(request(handle, "test-sleep:ms=150"));
+  ASSERT_TRUE(blocker.accepted);
+  const Submission low = svc.submit(request(handle, "hk", /*priority=*/0));
+  const Submission high =
+      svc.submit(request(handle, "pf", /*priority=*/10));
+  ASSERT_TRUE(low.accepted);
+  ASSERT_TRUE(high.accepted);
+  // The worker serves the high-priority request first, so by the time the
+  // low one completes, the high one must already be done.
+  (void)low.future.get();
+  ASSERT_TRUE(svc.poll(high.ticket).has_value());
+  (void)blocker.future.get();
+}
+
+TEST(Service, DeadlineExpiresWhileQueued) {
+  MatchingService svc({.workers = 1});
+  const auto handle =
+      svc.add_instance("g", gen::complete_bipartite(8, 8)).handle;
+  const Submission blocker =
+      svc.submit(request(handle, "test-sleep:ms=100"));
+  ASSERT_TRUE(blocker.accepted);
+  const Submission doomed =
+      svc.submit(request(handle, "hk", 0, /*deadline_ms=*/1.0));
+  ASSERT_TRUE(doomed.accepted);
+  const Response r = doomed.future.get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("deadline expired"), std::string::npos) << r.error;
+  EXPECT_EQ(svc.stats().expired, 1u);
+  (void)blocker.future.get();
+}
+
+TEST(Service, CacheServesRepeatsAndCountsHits) {
+  auto cache = std::make_shared<ResultCache>();
+  MatchingService svc({.workers = 2, .cache = cache});
+  const auto g = gen::random_uniform(300, 310, 1500, 11);
+  const auto handle = svc.add_instance("g", g).handle;
+
+  const Response first = svc.submit(request(handle, "hk")).future.get();
+  ASSERT_TRUE(first.ok);
+  EXPECT_FALSE(first.cached);
+
+  const Response repeat = svc.submit(request(handle, "hk")).future.get();
+  ASSERT_TRUE(repeat.ok);
+  EXPECT_TRUE(repeat.cached);
+  EXPECT_EQ(repeat.stats.cardinality, first.stats.cardinality);
+  EXPECT_EQ(repeat.service_ms, 0.0);
+  // Cost fields are not re-charged on hits (same convention as the
+  // pipeline), so clients aggregating responses never double-count.
+  EXPECT_EQ(repeat.stats.wall_ms, 0.0);
+  EXPECT_EQ(repeat.stats.device_launches, 0);
+
+  // A different tuning never shares an entry; two spellings of one do.
+  const Response tuned =
+      svc.submit(request(handle, "seq-pr:k=2")).future.get();
+  EXPECT_FALSE(tuned.cached);
+  const Response respelled =
+      svc.submit(request(handle, "seq-pr:k=2")).future.get();
+  EXPECT_TRUE(respelled.cached);
+
+  // Dedup makes a re-registered graph hit the same entries.
+  const auto again = svc.add_instance("g2", g);
+  EXPECT_TRUE(again.deduplicated);
+  const Response via_dedup =
+      svc.submit(request(again.handle, "hk")).future.get();
+  EXPECT_TRUE(via_dedup.cached);
+
+  EXPECT_EQ(svc.stats().cache_hits, 3u);
+  EXPECT_EQ(cache->stats().hits, 3u);
+}
+
+TEST(Service, PipelineAndServiceShareOneCacheAcrossBatches) {
+  auto cache = std::make_shared<ResultCache>();
+  const auto g = gen::random_uniform(300, 310, 1500, 11);
+  const std::vector<std::string> specs = {"g-pr-shr:k=1.5", "hk"};
+
+  // Batch 1 populates the cache.
+  MatchingPipeline first({.shared_cache = cache});
+  first.add_instance("g", g);
+  const PipelineReport cold = first.run(specs);
+  ASSERT_TRUE(cold.all_ok());
+  EXPECT_EQ(cold.totals.cache_hits, 0u);
+  EXPECT_EQ(cache->stats().entries, 2u);
+
+  // A *different* pipeline (fresh engine, fresh instances) hits across
+  // the batch boundary.
+  MatchingPipeline second({.shared_cache = cache});
+  second.add_instance("g-again", g);
+  const PipelineReport warm = second.run(specs);
+  ASSERT_TRUE(warm.all_ok());
+  EXPECT_EQ(warm.totals.cache_hits, 2u);
+  for (std::size_t i = 0; i < warm.jobs.size(); ++i) {
+    EXPECT_TRUE(warm.jobs[i].cached);
+    EXPECT_EQ(warm.jobs[i].stats.cardinality, cold.jobs[i].stats.cardinality);
+    EXPECT_EQ(warm.jobs[i].stats.wall_ms, 0.0);  // cost is not re-charged
+  }
+
+  // The service sees the same entries...
+  MatchingService svc({.workers = 1, .cache = cache});
+  const auto handle = svc.add_instance("g", g).handle;
+  const Response r = svc.submit(request(handle, "hk")).future.get();
+  EXPECT_TRUE(r.cached);
+  EXPECT_EQ(r.stats.cardinality, cold.jobs[1].stats.cardinality);
+
+  // ...and a snapshot carries them into a restarted process: a fresh
+  // cache object loaded from the snapshot serves a fresh pipeline.
+  std::stringstream snapshot;
+  cache->save(snapshot);
+  auto reloaded = std::make_shared<ResultCache>();
+  EXPECT_EQ(reloaded->load(snapshot), 2u);
+  MatchingPipeline restarted({.shared_cache = reloaded});
+  restarted.add_instance("g", g);
+  const PipelineReport after = restarted.run(specs);
+  ASSERT_TRUE(after.all_ok());
+  EXPECT_EQ(after.totals.cache_hits, 2u);
+  for (std::size_t i = 0; i < after.jobs.size(); ++i)
+    EXPECT_EQ(after.jobs[i].stats.cardinality,
+              cold.jobs[i].stats.cardinality);
+}
+
+TEST(Service, VerifyOffConsumersReadButNeverSeedTheSharedCache) {
+  // Every cache entry must have passed verification when it was written;
+  // a verify-off producer would poison later verifying consumers.
+  auto cache = std::make_shared<ResultCache>();
+  const auto g = gen::random_uniform(200, 210, 900, 3);
+
+  MatchingPipeline unchecked({.shared_cache = cache, .verify = false});
+  unchecked.add_instance("g", g);
+  ASSERT_TRUE(unchecked.run({"hk"}).all_ok());
+  EXPECT_EQ(cache->stats().entries, 0u);  // nothing published
+
+  MatchingService svc({.workers = 1, .verify = false, .cache = cache});
+  const auto handle = svc.add_instance("g", g).handle;
+  ASSERT_TRUE(svc.submit(request(handle, "hk")).future.get().ok);
+  EXPECT_EQ(cache->stats().entries, 0u);
+
+  // Verified entries flow the other way: a verifying batch publishes,
+  // and the verify-off consumer may serve the (trustworthy) hit.
+  MatchingPipeline checked({.shared_cache = cache});
+  checked.add_instance("g", g);
+  ASSERT_TRUE(checked.run({"hk"}).all_ok());
+  EXPECT_EQ(cache->stats().entries, 1u);
+  const Response hit = svc.submit(request(handle, "hk")).future.get();
+  EXPECT_TRUE(hit.cached);
+}
+
+TEST(Service, RunWithJobsStayOutOfTheSharedCache) {
+  // Caller-configured solver objects have no stable cross-batch identity;
+  // they must neither read nor write the shared cache.
+  auto cache = std::make_shared<ResultCache>();
+  MatchingPipeline pipe({.shared_cache = cache});
+  pipe.add_instance("g", gen::random_uniform(200, 210, 900, 3));
+  std::vector<std::unique_ptr<Solver>> solvers;
+  solvers.push_back(SolverRegistry::instance().create("hk"));
+  const PipelineReport rep = pipe.run_with(solvers);
+  ASSERT_TRUE(rep.all_ok());
+  EXPECT_EQ(cache->stats().entries, 0u);
+}
+
+TEST(Service, ManyClientThreadsManyRequestsAllVerify) {
+  // The concurrency smoke: 4 client threads x 8 requests over 2 instances
+  // x 2 specs against 4 workers, every response checked.
+  auto cache = std::make_shared<ResultCache>();
+  MatchingService svc({.workers = 4, .cache = cache});
+  const auto a =
+      svc.add_instance("a", gen::random_uniform(300, 310, 1500, 11)).handle;
+  const auto b =
+      svc.add_instance("b", gen::chung_lu(250, 260, 4.0, 2.4, 7)).handle;
+  const graph::index_t max_a = svc.instances().get(a).maximum_cardinality;
+  const graph::index_t max_b = svc.instances().get(b).maximum_cardinality;
+
+  std::atomic<int> bad{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < 8; ++i) {
+        const bool use_a = (c + i) % 2 == 0;
+        Submission sub = svc.submit(
+            request(use_a ? a : b, i % 4 < 2 ? "hk" : "g-pr-shr"));
+        if (!sub.accepted) {
+          ++bad;
+          continue;
+        }
+        const Response r = sub.future.get();
+        if (!r.ok || r.stats.cardinality != (use_a ? max_a : max_b)) ++bad;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(bad.load(), 0);
+  const ServiceStats s = svc.stats();
+  EXPECT_EQ(s.completed, 32u);
+  EXPECT_EQ(s.failed, 0u);
+  // 2 instances x 2 specs = 4 unique jobs; nearly everything else hits.
+  // Racing clients may first-solve one key several times concurrently
+  // (at most once per in-flight request), hence the slack.
+  EXPECT_GE(s.cache_hits, 32u - 4u * 4u);
+  EXPECT_LE(cache->stats().entries, 4u);
+}
+
+TEST(Service, ShutdownDrainsQueuedWorkAndRejectsNewSubmissions) {
+  MatchingService svc({.workers = 1});
+  const auto handle =
+      svc.add_instance("g", gen::complete_bipartite(8, 8)).handle;
+  std::vector<Submission> subs;
+  for (int i = 0; i < 5; ++i) subs.push_back(svc.submit(request(handle, "hk")));
+  svc.shutdown();
+  for (const Submission& sub : subs) {
+    ASSERT_TRUE(sub.accepted);
+    EXPECT_TRUE(sub.future.get().ok);  // queued work completed, not dropped
+  }
+  const Submission late = svc.submit(request(handle, "hk"));
+  EXPECT_FALSE(late.accepted);
+  EXPECT_NE(late.reason.find("shutting down"), std::string::npos);
+}
+
+TEST(Service, DrainWaitsForIdle) {
+  MatchingService svc({.workers = 2});
+  const auto handle =
+      svc.add_instance("g", gen::complete_bipartite(8, 8)).handle;
+  for (int i = 0; i < 4; ++i)
+    (void)svc.submit(request(handle, "test-sleep:ms=10"));
+  svc.drain();
+  const ServiceStats s = svc.stats();
+  EXPECT_EQ(s.completed, 4u);
+  EXPECT_EQ(s.queued, 0u);
+  EXPECT_EQ(s.in_flight, 0u);
+}
+
+TEST(Service, EngineOdometerTracksSolvedRequestsLive) {
+  // One stream per solved request, retired on completion: the odometer is
+  // observable while the service keeps running — no shutdown needed.
+  MatchingService svc({.workers = 2});
+  const auto handle =
+      svc.add_instance("g", gen::random_uniform(300, 310, 1500, 11)).handle;
+  (void)svc.submit(request(handle, "g-pr-shr")).future.get();
+  const device::EngineStats one = svc.engine_stats();
+  EXPECT_EQ(one.streams_opened, 1u);
+  EXPECT_EQ(one.streams_retired, 1u);
+  EXPECT_GT(one.launches, 0u);  // the device solver's kernel launches
+  EXPECT_GT(one.modeled_ms, 0.0);
+
+  (void)svc.submit(request(handle, "hk")).future.get();  // CPU solver
+  const device::EngineStats two = svc.engine_stats();
+  EXPECT_EQ(two.streams_retired, 2u);
+  EXPECT_EQ(two.launches, one.launches);  // no device work on a CPU run
+}
+
+}  // namespace
+}  // namespace bpm::serve
