@@ -13,11 +13,18 @@
 // and replays once more on a *fresh* service warmed from the snapshot —
 // the restart story of a long-running deployment.
 //
+// Duplicate-heavy burst (--dup > 0): every mix job submitted --dup times
+// in one shuffled, unpaced burst against a cache-less service — the
+// workload where request coalescing (--coalesce) collapses duplicate
+// same-instance requests into shared dispatch batches.  Per-engine
+// dispatch stats show how --engines N --routing spread the work.
+//
 // Open loop (--open-rate > 0): one thread submits at the target rate
 // against a bounded queue; completion latency percentiles and rejected
 // (backpressure) counts show the overload behaviour.
 //
 //   serve_throughput --scale 0.002 --inflight 1,2,4,8 --requests 96
+//   serve_throughput --scale 0.002 --engines 4 --coalesce --dup 6
 //   serve_throughput --scale 0.002 --open-rate 200 --queue-depth 16
 
 #include <algorithm>
@@ -27,10 +34,12 @@
 #include <map>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "harness_common.hpp"
 #include "serve/service.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -56,17 +65,39 @@ struct Mix {
   }
 };
 
+/// Engine-pool shape shared by every phase, straight from the CLI.
+struct PoolConfig {
+  unsigned engines = 1;
+  serve::Routing routing = serve::Routing::kLeastLoaded;
+  bool coalesce = false;
+};
+
 serve::ServiceOptions service_options(const SuiteOptions& opt,
                                       unsigned workers,
                                       std::size_t queue_depth,
-                                      std::shared_ptr<serve::ResultCache> cache) {
+                                      std::shared_ptr<serve::ResultCache> cache,
+                                      const PoolConfig& pool) {
   serve::ServiceOptions s;
   s.workers = workers;
   s.device_threads = opt.threads;
   s.solver_threads = opt.threads;
   s.queue_depth = queue_depth;
   s.cache = std::move(cache);
+  s.engines = pool.engines;
+  s.routing = pool.routing;
+  s.coalesce = pool.coalesce;
   return s;
+}
+
+void print_engine_stats(const serve::MatchingService& service) {
+  for (const serve::EngineGroupEngineStats& e :
+       service.engine_group().stats())
+    std::cout << "  engine " << e.index << (e.retired ? " (retired)" : "")
+              << ": dispatches=" << e.dispatches
+              << " work_dispatched=" << e.work_dispatched
+              << " streams=" << e.device.streams_retired
+              << " launches=" << e.device.launches
+              << " modeled_ms=" << e.device.modeled_ms << "\n";
 }
 
 Mix register_suite(serve::MatchingService& service,
@@ -140,10 +171,26 @@ int main(int argc, char** argv) {
                  "skip)", "0");
   cli.add_option("queue-depth", "admission queue bound for the open loop",
                  "256");
+  cli.add_option("engines", "device engines behind the service", "1");
+  cli.add_option("routing",
+                 "engine routing policy (round-robin | least-loaded | "
+                 "affinity)",
+                 "least-loaded");
+  cli.add_flag("coalesce",
+               "coalesce same-instance queued requests into one dispatch "
+               "batch");
+  cli.add_option("dup",
+                 "duplicate factor of the duplicate-heavy burst phase "
+                 "(each mix job submitted this many times; 0 = skip)",
+                 "4");
   SuiteOptions opt;
+  PoolConfig pool;
   try {
     cli.parse(argc, argv);
     opt = suite_options_from_cli(cli);
+    pool.engines = static_cast<unsigned>(cli.get_int("engines"));
+    pool.routing = serve::parse_routing(cli.get_string("routing"));
+    pool.coalesce = cli.get_flag("coalesce");
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
@@ -177,8 +224,11 @@ int main(int argc, char** argv) {
   }
   std::cout << "# mix: " << suite.size() << " instances x "
             << opt.algos.size() << " specs, " << requests
-            << " requests per level; reference "
-            << (reference.all_ok() ? "ok" : "FAILED") << "\n\n";
+            << " requests per level; engines=" << pool.engines
+            << " routing=" << serve::routing_name(pool.routing)
+            << " coalesce=" << (pool.coalesce ? "on" : "off")
+            << "; reference " << (reference.all_ok() ? "ok" : "FAILED")
+            << "\n\n";
 
   bool all_ok = reference.all_ok();
 
@@ -189,7 +239,7 @@ int main(int argc, char** argv) {
   double serial_wall = 0.0;
   for (const unsigned level : levels) {
     serve::MatchingService service(
-        service_options(opt, level, requests + 1, nullptr));
+        service_options(opt, level, requests + 1, nullptr, pool));
     const Mix mix = register_suite(service, suite, opt);
     std::atomic<std::size_t> bad{0};
     Timer timer;
@@ -214,6 +264,60 @@ int main(int argc, char** argv) {
                "(responses are checked against the sequential pipeline "
                "reference).\n";
 
+  // ---- duplicate-heavy open-loop burst: the coalescing showcase ----------
+  // Every mix job submitted --dup times in one shuffled, unpaced burst
+  // against a cache-less service: with --coalesce the duplicate
+  // same-instance requests collapse into shared dispatch batches (distinct
+  // specs solved back to back on one routed stream, identical specs solved
+  // once and fanned out), so requests/s must beat the same burst without
+  // coalescing — the acceptance shape for `--engines N --coalesce`.
+  const auto dup = static_cast<std::size_t>(cli.get_int("dup"));
+  if (dup > 0) {
+    const std::size_t grid = suite.size() * opt.algos.size();
+    const std::size_t total = grid * dup;
+    const unsigned workers = levels.empty() ? 4 : levels.back();
+    serve::MatchingService service(
+        service_options(opt, workers, total + 1, nullptr, pool));
+    const Mix mix = register_suite(service, suite, opt);
+    std::vector<std::size_t> order(total);
+    for (std::size_t i = 0; i < total; ++i) order[i] = i % grid;
+    Rng rng(7);
+    std::shuffle(order.begin(), order.end(), rng);
+
+    std::size_t bad = 0;
+    std::vector<std::pair<std::size_t, serve::Submission>> subs;
+    subs.reserve(total);
+    Timer timer;
+    for (const std::size_t i : order) {
+      serve::Submission sub =
+          service.submit({.instance = mix.handles[mix.instance_of(i)],
+                          .spec = mix.spec_of(i)});
+      if (sub.accepted)
+        subs.emplace_back(i, std::move(sub));
+      else
+        ++bad;  // the queue is sized for the whole burst
+    }
+    for (auto& [i, sub] : subs) {
+      const serve::Response r = sub.future.get();
+      const auto it = want.find(i);
+      if (!r.ok || it == want.end() || !it->second.ok ||
+          r.stats.cardinality != it->second.cardinality)
+        ++bad;
+    }
+    const double wall = timer.elapsed_ms();
+    const serve::ServiceStats s = service.stats();
+    all_ok &= bad == 0;
+    std::cout << "\nduplicate-heavy burst (" << grid << " unique jobs x "
+              << dup << " = " << total << " requests, " << workers
+              << " workers, no cache):\n"
+              << "  wall " << wall << " ms, "
+              << static_cast<double>(total) / (wall / 1e3)
+              << " req/s; dispatches=" << s.dispatches
+              << " coalesced=" << s.coalesced
+              << " fanout_hits=" << s.fanout_hits << " bad=" << bad << "\n";
+    print_engine_stats(service);
+  }
+
   // ---- cache persistence: warm pass + snapshot reload ---------------------
   const auto cache_bytes =
       static_cast<std::size_t>(cli.get_int("cache-bytes"));
@@ -230,7 +334,7 @@ int main(int argc, char** argv) {
       auto cache = std::make_shared<serve::ResultCache>(
           serve::CacheOptions{.byte_budget = cache_bytes});
       serve::MatchingService service(
-          service_options(opt, workers, grid + 1, cache));
+          service_options(opt, workers, grid + 1, cache, pool));
       const Mix mix = register_suite(service, suite, opt);
       Timer timer;
       (void)closed_loop(service, mix, grid, workers, want, bad);
@@ -252,7 +356,7 @@ int main(int argc, char** argv) {
           serve::CacheOptions{.byte_budget = cache_bytes});
       cache->load_file(snapshot.string());
       serve::MatchingService service(
-          service_options(opt, workers, grid + 1, cache));
+          service_options(opt, workers, grid + 1, cache, pool));
       const Mix mix = register_suite(service, suite, opt);
       Timer timer;
       (void)closed_loop(service, mix, grid, workers, want, bad);
@@ -278,7 +382,8 @@ int main(int argc, char** argv) {
   if (open_rate > 0.0) {
     serve::MatchingService service(service_options(
         opt, levels.empty() ? 4 : levels.back(),
-        static_cast<std::size_t>(cli.get_int("queue-depth")), nullptr));
+        static_cast<std::size_t>(cli.get_int("queue-depth")), nullptr,
+        pool));
     const Mix mix = register_suite(service, suite, opt);
     const auto interval =
         std::chrono::duration<double>(1.0 / open_rate);

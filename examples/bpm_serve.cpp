@@ -1,12 +1,16 @@
 // bpm_serve — a long-running matching service behind a line-delimited
 // request protocol, driven from a script file (--script) or stdin.  The
-// service owns one device engine for its whole lifetime, dedups registered
-// graphs by structural fingerprint, schedules requests from a bounded
-// priority queue over worker-owned device streams, and (with --cache-bytes
-// > 0) serves repeated (instance, solver spec) requests from a persistent
-// result cache that can be snapshotted to disk and reloaded on restart.
+// service owns a pool of --engines device engines for its whole lifetime
+// (dispatches routed by --routing: round-robin, least-loaded, or
+// instance affinity), dedups registered graphs by structural fingerprint,
+// schedules requests from a bounded priority queue — coalescing
+// same-instance queued requests into one dispatch batch unless
+// --no-coalesce — and (with --cache-bytes > 0) serves repeated
+// (instance, solver spec) requests from a persistent result cache that
+// can be snapshotted to disk and reloaded on restart.
 //
 //   bpm_serve --script examples/serve_smoke.req
+//   bpm_serve --engines 4 --routing affinity < requests.txt
 //   bpm_serve --cache-load warm.cache --cache-save warm.cache < requests.txt
 //
 // Protocol (one command per line; '#' starts a comment):
@@ -114,7 +118,12 @@ bool execute(serve::MatchingService& service, const std::string& line,
               << " accepted=" << s.accepted << " rejected=" << s.rejected
               << " completed=" << s.completed << " failed=" << s.failed
               << " expired=" << s.expired << " cache_hits=" << s.cache_hits
-              << " queued=" << s.queued << " in_flight=" << s.in_flight
+              << " fanout_hits=" << s.fanout_hits
+              << " dispatches=" << s.dispatches
+              << " coalesced=" << s.coalesced << " queued=" << s.queued
+              << " in_flight=" << s.in_flight
+              << " tickets_retained=" << s.tickets_retained
+              << " evicted_tickets=" << s.evicted_tickets
               << " instances=" << service.instances().size() << "\n";
     if (service.cache()) {
       const serve::CacheStats c = service.cache()->stats();
@@ -123,11 +132,14 @@ bool execute(serve::MatchingService& service, const std::string& line,
                 << " insertions=" << c.insertions
                 << " evictions=" << c.evictions << "\n";
     }
-    const device::EngineStats e = service.engine_stats();
-    std::cout << "engine streams_opened=" << e.streams_opened
-              << " streams_retired=" << e.streams_retired
-              << " launches=" << e.launches << " modeled_ms=" << e.modeled_ms
-              << "\n";
+    for (const serve::EngineGroupEngineStats& e :
+         service.engine_group().stats())
+      std::cout << "engine " << e.index << (e.retired ? " retired" : "")
+                << " dispatches=" << e.dispatches << " load=" << e.load
+                << " streams_opened=" << e.device.streams_opened
+                << " streams_retired=" << e.device.streams_retired
+                << " launches=" << e.device.launches
+                << " modeled_ms=" << e.device.modeled_ms << "\n";
     return true;
   }
   if (cmd == "load" || cmd == "gen") {
@@ -206,10 +218,26 @@ int main(int argc, char** argv) {
                 "long-running matching service driven by a line-delimited "
                 "request protocol (script file or stdin)");
   cli.add_option("script", "request script (empty = read stdin)", "");
-  cli.add_option("workers", "concurrent requests, one device stream each",
+  cli.add_option("workers", "concurrent dispatches, one device stream each",
                  "2");
-  cli.add_option("device-threads", "engine pool workers (0 = hardware)", "0");
+  cli.add_option("device-threads",
+                 "per-engine pool workers (0 = hardware)", "0");
   cli.add_option("queue-depth", "admission queue bound", "256");
+  cli.add_option("engines", "device engines behind the service", "1");
+  cli.add_option("routing",
+                 "engine routing policy (round-robin | least-loaded | "
+                 "affinity)",
+                 "least-loaded");
+  cli.add_flag("no-coalesce",
+               "serve every request as its own dispatch instead of "
+               "batching same-instance queued requests");
+  cli.add_option("coalesce-limit",
+                 "max requests per coalesced dispatch (0 = unbounded)",
+                 "16");
+  cli.add_option("retention",
+                 "completed tickets kept for poll/wait before eviction "
+                 "(0 = keep all)",
+                 "65536");
   cli.add_option("cache-bytes", "result cache budget in bytes (0 = no cache)",
                  std::to_string(std::size_t{64} << 20));
   cli.add_option("cache-shards", "result cache shard count", "8");
@@ -227,6 +255,13 @@ int main(int argc, char** argv) {
     opt.device_threads = static_cast<unsigned>(cli.get_int("device-threads"));
     opt.queue_depth = static_cast<std::size_t>(cli.get_int("queue-depth"));
     opt.verify = !cli.get_flag("no-verify");
+    opt.engines = static_cast<unsigned>(cli.get_int("engines"));
+    opt.routing = serve::parse_routing(cli.get_string("routing"));
+    opt.coalesce = !cli.get_flag("no-coalesce");
+    opt.coalesce_limit =
+        static_cast<std::size_t>(cli.get_int("coalesce-limit"));
+    opt.completed_ticket_retention =
+        static_cast<std::size_t>(cli.get_int("retention"));
     const auto cache_bytes =
         static_cast<std::size_t>(cli.get_int("cache-bytes"));
     if (cache_bytes > 0)

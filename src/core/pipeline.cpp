@@ -4,6 +4,7 @@
 #include <map>
 #include <optional>
 #include <stdexcept>
+#include <string_view>
 #include <thread>
 #include <utility>
 
@@ -13,6 +14,78 @@
 #include "util/timer.hpp"
 
 namespace bpm {
+
+namespace {
+
+/// Cache hits and in-batch duplicates never re-charge cost fields: the
+/// work happened in the run that solved the entry.
+void strip_cost_fields(SolveStats& stats) {
+  stats.wall_ms = 0.0;
+  stats.modeled_ms = 0.0;
+  stats.device_launches = 0;
+}
+
+}  // namespace
+
+AdmittedJobResult run_admitted_job(
+    const AdmittedJob& job, const std::function<device::Device&()>& stream,
+    serve::ResultCache* cache, const PipelineOptions& options) {
+  AdmittedJobResult out;
+  const PipelineInstance& inst = *job.instance;
+  if (cache && !job.cache_key.empty()) {
+    if (std::optional<JobOutcome> hit =
+            cache->get(inst.fingerprint, job.cache_key)) {
+      out.outcome = std::move(*hit);
+      out.cached = true;
+      strip_cost_fields(out.outcome.stats);
+      return out;
+    }
+  }
+  Timer timer;
+  const SolveContext ctx{.device = &stream(),
+                         .threads = options.solver_threads};
+  out.outcome = run_verified(*job.solver, ctx, inst.graph, inst.init,
+                             options.verify ? inst.maximum_cardinality : -1);
+  out.solve_ms = timer.elapsed_ms();
+  // Verified results only (the shared-cache rule): a verify-off caller
+  // never seeds the cache other consumers trust.
+  if (cache && !job.cache_key.empty() && out.outcome.ok && options.verify)
+    cache->put(inst.fingerprint, job.cache_key, out.outcome);
+  return out;
+}
+
+std::vector<AdmittedJobResult> run_admitted_jobs(
+    const std::vector<AdmittedJob>& jobs,
+    const std::function<device::Device&()>& stream,
+    serve::ResultCache* cache, const PipelineOptions& options) {
+  std::vector<AdmittedJobResult> out(jobs.size());
+  std::map<std::pair<std::uint64_t, std::string_view>, std::size_t> first;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const AdmittedJob& job = jobs[i];
+    if (!job.cache_key.empty()) {
+      const auto [it, inserted] =
+          first.try_emplace({job.instance->fingerprint, job.cache_key}, i);
+      if (!inserted) {
+        // In-batch duplicate: the loop is sequential, so the source (an
+        // earlier index) is already resolved.  Failed outcomes are never
+        // dedup sources — the cache refuses to publish them and an
+        // uncoalesced service would re-solve each duplicate — so the
+        // duplicate solves for itself and takes over as the source.
+        if (out[it->second].outcome.ok) {
+          out[i] = out[it->second];
+          out[i].cached = true;
+          out[i].in_batch_dup = true;
+          out[i].solve_ms = 0.0;
+          strip_cost_fields(out[i].outcome.stats);
+          continue;
+        }
+        it->second = i;
+      }
+    }
+    out[i] = run_admitted_job(job, stream, cache, options);
+  }
+  return out;
+}
 
 std::vector<const PipelineJob*> PipelineReport::jobs_for(
     std::size_t instance) const {
@@ -141,41 +214,25 @@ PipelineReport MatchingPipeline::run_jobs(const std::vector<JobSpec>& solvers) {
   const auto run_one = [&](std::size_t j, device::Device& dev) {
     const PipelineInstance& inst = instances_[j / per_instance];
     const JobSpec& spec = solvers[j % per_instance];
-    PipelineJob job;
-    job.instance = j / per_instance;
-    job.solver = spec.label;
     // Cross-batch cache: canonical-spec jobs may have been solved by an
     // earlier batch (or another pipeline/service sharing the cache).
     const bool shared =
         options_.cache_results && options_.shared_cache && spec.shareable;
-    if (shared) {
-      if (const std::optional<JobOutcome> hit =
-              options_.shared_cache->get(inst.fingerprint, spec.cache_key)) {
-        job.stats = hit->stats;
-        job.ok = hit->ok;
-        job.error = hit->error;
-        job.cached = true;
-        // Not re-charged: the work happened in the batch that solved it.
-        job.stats.wall_ms = 0.0;
-        job.stats.modeled_ms = 0.0;
-        job.stats.device_launches = 0;
-        report.jobs[j] = std::move(job);
-        return;
-      }
-    }
-    const SolveContext ctx{.device = &dev, .threads = options_.solver_threads};
-    JobOutcome out =
-        run_verified(*spec.solver, ctx, inst.graph, inst.init,
-                     options_.verify ? inst.maximum_cardinality : -1);
-    // Only *verified* results are published: a verify-off batch may read
-    // the shared cache (its entries all passed verification when written)
-    // but must not seed it with unchecked outcomes that a later verifying
-    // consumer would serve as ok.
-    if (shared && out.ok && options_.verify)
-      options_.shared_cache->put(inst.fingerprint, spec.cache_key, out);
-    job.stats = std::move(out.stats);
-    job.ok = out.ok;
-    job.error = std::move(out.error);
+    const std::function<device::Device&()> stream =
+        [&dev]() -> device::Device& { return dev; };
+    const AdmittedJob admitted{
+        &inst, spec.solver,
+        shared ? std::string_view(spec.cache_key) : std::string_view()};
+    AdmittedJobResult r = run_admitted_job(
+        admitted, stream, shared ? options_.shared_cache.get() : nullptr,
+        options_);
+    PipelineJob job;
+    job.instance = j / per_instance;
+    job.solver = spec.label;
+    job.stats = std::move(r.outcome.stats);
+    job.ok = r.outcome.ok;
+    job.cached = r.cached;
+    job.error = std::move(r.outcome.error);
     report.jobs[j] = std::move(job);  // each job index is written once
   };
 

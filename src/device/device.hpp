@@ -104,11 +104,21 @@ class Engine {
   void note_stream_opened();
   void retire_stream(std::uint64_t launches, double modeled_us);
 
+  /// In-flight load gauge for dispatchers (`serve::EngineGroup`): the
+  /// modeled work units currently routed onto this engine.  The engine
+  /// does not estimate this itself — whoever dispatches work charges the
+  /// estimate up front and removes it when the dispatch retires — so it
+  /// reads 0 for engines nothing is routed to.
+  void add_load(double work);
+  void remove_load(double work);
+  [[nodiscard]] double load() const;
+
  private:
   ExecMode mode_;
   std::unique_ptr<ThreadPool> pool_;
   mutable std::mutex stats_mutex_;
   EngineStats stats_;
+  double load_ = 0.0;
 };
 
 /// A CUDA-style bulk-synchronous execution stream on host threads.

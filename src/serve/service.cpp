@@ -1,9 +1,11 @@
 #include "serve/service.hpp"
 
+#include <algorithm>
+#include <optional>
+#include <set>
 #include <stdexcept>
+#include <string_view>
 #include <utility>
-
-#include "util/timer.hpp"
 
 namespace bpm::serve {
 namespace {
@@ -18,8 +20,10 @@ double ms_since(std::chrono::steady_clock::time_point start) {
 
 MatchingService::MatchingService(ServiceOptions options)
     : options_(std::move(options)),
-      engine_(std::make_shared<device::Engine>(options_.device_mode,
-                                               options_.device_threads)),
+      group_({.engines = options_.engines,
+              .routing = options_.routing,
+              .device_mode = options_.device_mode,
+              .device_threads = options_.device_threads}),
       store_([&] {
         PipelineOptions admit;
         admit.verify = options_.verify;
@@ -93,9 +97,146 @@ Submission MatchingService::submit(Request request) {
   out.ticket = queued->ticket;
   out.future = pending.future;
   ++stats_.accepted;
-  queue_.push(std::move(queued));
+  queue_.push_back(std::move(queued));
   work_cv_.notify_one();
   return out;
+}
+
+std::vector<std::unique_ptr<MatchingService::Queued>>
+MatchingService::take_batch_locked() {
+  // One scan for the seed, one for the companions, one compaction: the
+  // queue can be deep (load benches size it to a whole burst) and this
+  // runs under the service mutex, so no per-pick rescans or erases.
+  const auto better = [](const std::unique_ptr<Queued>& a,
+                         const std::unique_ptr<Queued>& b) {
+    if (a->priority != b->priority) return a->priority > b->priority;
+    return a->ticket < b->ticket;  // FIFO within a priority level
+  };
+
+  std::size_t seed = 0;
+  for (std::size_t i = 1; i < queue_.size(); ++i)
+    if (better(queue_[i], queue_[seed])) seed = i;
+
+  std::vector<std::size_t> picked;
+  picked.push_back(seed);
+
+  // Coalescing companions: same registered instance, no deadline (a
+  // deadline'd request always dispatches alone — see Request), in
+  // dispatch order up to the batch bound.
+  if (options_.coalesce && queue_[seed]->deadline_ms == 0.0) {
+    std::vector<std::size_t> companions;
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      if (i == seed || queue_[i]->instance != queue_[seed]->instance ||
+          queue_[i]->deadline_ms != 0.0)
+        continue;
+      companions.push_back(i);
+    }
+    std::sort(companions.begin(), companions.end(),
+              [&](std::size_t a, std::size_t b) {
+                return better(queue_[a], queue_[b]);
+              });
+    const std::size_t limit = options_.coalesce_limit == 0
+                                  ? queue_.size() + 1
+                                  : options_.coalesce_limit;
+    for (const std::size_t i : companions) {
+      if (picked.size() >= limit) break;
+      picked.push_back(i);
+    }
+  }
+
+  std::vector<std::unique_ptr<Queued>> batch;
+  batch.reserve(picked.size());
+  for (const std::size_t i : picked) batch.push_back(std::move(queue_[i]));
+  std::erase_if(queue_,
+                [](const std::unique_ptr<Queued>& q) { return q == nullptr; });
+  return batch;
+}
+
+void MatchingService::serve_batch(
+    std::vector<std::unique_ptr<Queued>>& batch) {
+  const PipelineInstance& inst = store_.get(batch.front()->instance);
+  std::vector<Response> responses(batch.size());
+  std::vector<std::size_t> live;
+  live.reserve(batch.size());
+  std::uint64_t expired = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Response& r = responses[i];
+    r.queue_ms = ms_since(batch[i]->submitted);
+    r.instance_name = inst.name;
+    if (batch[i]->deadline_ms > 0.0 && r.queue_ms > batch[i]->deadline_ms) {
+      r.ok = false;
+      r.error = "deadline expired: queued " + std::to_string(r.queue_ms) +
+                " ms of a " + std::to_string(batch[i]->deadline_ms) +
+                " ms budget";
+      ++expired;
+    } else {
+      live.push_back(i);
+    }
+  }
+
+  std::uint64_t shared_hits = 0;
+  std::uint64_t fanout_hits = 0;
+  if (!live.empty()) {
+    // Lazy engine acquisition via run_admitted_jobs' stream provider: a
+    // dispatch served entirely from the cache routes no work and opens
+    // no stream.
+    std::optional<EngineGroup::Lease> lease;
+    std::optional<device::Device> stream;
+    // Load estimate for the router: duplicate (instance, spec) requests
+    // in the batch solve once, so charge by distinct specs, not batch
+    // size — otherwise least-loaded would steer traffic away from an
+    // engine serving a cheap duplicate-heavy batch.
+    std::set<std::string_view> distinct;
+    for (const std::size_t i : live) distinct.insert(batch[i]->canonical);
+    const double estimated_work =
+        static_cast<double>(inst.graph.num_edges() + inst.graph.num_rows()) *
+        static_cast<double>(distinct.size());
+    const std::function<device::Device&()> provider =
+        [&]() -> device::Device& {
+      if (!stream) {
+        lease.emplace(group_.acquire(inst.fingerprint, estimated_work));
+        stream.emplace(lease->engine());
+      }
+      return *stream;
+    };
+    std::vector<AdmittedJob> jobs;
+    jobs.reserve(live.size());
+    for (const std::size_t i : live)
+      jobs.push_back({&inst, batch[i]->solver.get(), batch[i]->canonical});
+    PipelineOptions run;
+    run.verify = options_.verify;
+    run.solver_threads = options_.solver_threads;
+    std::vector<AdmittedJobResult> results =
+        run_admitted_jobs(jobs, provider, options_.cache.get(), run);
+    // Retire the stream (folding its launches into the engine odometer)
+    // and release the lease before any response is delivered: a client
+    // that sees its future ready must also see the work in
+    // engine_stats() and the load gone from the router's gauge.
+    stream.reset();
+    lease.reset();
+    for (std::size_t k = 0; k < live.size(); ++k) {
+      Response& r = responses[live[k]];
+      r.stats = std::move(results[k].outcome.stats);
+      r.ok = results[k].outcome.ok;
+      r.error = std::move(results[k].outcome.error);
+      r.cached = results[k].cached;
+      r.service_ms = results[k].solve_ms;
+      if (results[k].cached)
+        ++(results[k].in_batch_dup ? fanout_hits : shared_hits);
+    }
+  }
+
+  {
+    const std::unique_lock lock(mutex_);
+    stats_.expired += expired;
+    stats_.cache_hits += shared_hits;
+    stats_.fanout_hits += fanout_hits;
+    ++stats_.dispatches;
+    if (batch.size() > 1)
+      stats_.coalesced += static_cast<std::uint64_t>(batch.size() - 1);
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    complete(*batch[i], std::move(responses[i]));
 }
 
 void MatchingService::complete(Queued& q, Response&& response) {
@@ -104,90 +245,55 @@ void MatchingService::complete(Queued& q, Response&& response) {
   response.solver = q.canonical;
   response.total_ms = ms_since(q.submitted);
 
-  {
-    const std::unique_lock lock(mutex_);
-    ++stats_.completed;
-    if (!response.ok) ++stats_.failed;
-    if (response.cached) ++stats_.cache_hits;
-    stats_.queue_ms_total += response.queue_ms;
-    stats_.service_ms_total += response.service_ms;
-    pending_.at(q.ticket).promise.set_value(std::move(response));
+  const std::unique_lock lock(mutex_);
+  ++stats_.completed;
+  if (!response.ok) ++stats_.failed;
+  stats_.queue_ms_total += response.queue_ms;
+  stats_.service_ms_total += response.service_ms;
+  pending_.at(q.ticket).promise.set_value(std::move(response));
+  // Ledger GC: evict the oldest completed tickets beyond the retention
+  // bound, so a month-long submit loop holds bounded memory.  Futures a
+  // client already holds stay valid (shared state outlives the map entry).
+  completed_order_.push_back(q.ticket);
+  if (options_.completed_ticket_retention > 0) {
+    while (completed_order_.size() > options_.completed_ticket_retention) {
+      pending_.erase(completed_order_.front());
+      completed_order_.pop_front();
+      ++stats_.evicted_tickets;
+    }
   }
 }
 
 void MatchingService::worker_loop() {
   while (true) {
-    std::unique_ptr<Queued> q;
+    std::vector<std::unique_ptr<Queued>> batch;
     {
       std::unique_lock lock(mutex_);
       work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping, nothing left to serve
-      // priority_queue::top is const; ownership still moves exactly once.
-      q = std::move(const_cast<std::unique_ptr<Queued>&>(queue_.top()));
-      queue_.pop();
-      ++in_flight_;
+      batch = take_batch_locked();
+      in_flight_ += batch.size();
     }
 
-    Response response;
-    response.queue_ms = ms_since(q->submitted);
-    const PipelineInstance& inst = store_.get(q->instance);
-    response.instance_name = inst.name;
-
-    if (q->deadline_ms > 0.0 && response.queue_ms > q->deadline_ms) {
-      response.ok = false;
-      response.error = "deadline expired: queued " +
-                       std::to_string(response.queue_ms) + " ms of a " +
-                       std::to_string(q->deadline_ms) + " ms budget";
-      {
-        const std::unique_lock lock(mutex_);
-        ++stats_.expired;
-      }
-      complete(*q, std::move(response));
-    } else {
-      std::optional<JobOutcome> hit;
-      if (options_.cache)
-        hit = options_.cache->get(inst.fingerprint, q->canonical);
-      if (hit) {
-        response.stats = hit->stats;
-        response.ok = hit->ok;
-        response.error = hit->error;
-        response.cached = true;
-        // Same convention as the pipeline's cache hits: the cost fields
-        // are not re-charged — the work happened in the run that solved
-        // it — so aggregating clients never double-count.
-        response.stats.wall_ms = 0.0;
-        response.stats.modeled_ms = 0.0;
-        response.stats.device_launches = 0;
-      } else {
-        Timer timer;
-        // One device stream per solved request: it retires its launch and
-        // modeled-time totals into the engine odometer on completion, so
-        // `engine_stats()` (and bpm_serve's `stats` command) track the
-        // serving process's device work live, not only at shutdown.
-        device::Device stream(engine_);
-        const SolveContext ctx{.device = &stream,
-                               .threads = options_.solver_threads};
-        JobOutcome out =
-            run_verified(*q->solver, ctx, inst.graph, inst.init,
-                         options_.verify ? inst.maximum_cardinality : -1);
-        response.service_ms = timer.elapsed_ms();
-        // Verified results only (see the pipeline's shared-cache rule): a
-        // --no-verify service never seeds the cache other consumers trust.
-        if (options_.cache && out.ok && options_.verify)
-          options_.cache->put(inst.fingerprint, q->canonical, out);
-        response.stats = std::move(out.stats);
-        response.ok = out.ok;
-        response.error = std::move(out.error);
-      }
-      complete(*q, std::move(response));
-    }
+    serve_batch(batch);
 
     {
       const std::unique_lock lock(mutex_);
-      --in_flight_;
+      in_flight_ -= batch.size();
       if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
     }
   }
+}
+
+Response MatchingService::evicted_response(std::uint64_t ticket) const {
+  Response r;
+  r.ticket = ticket;
+  r.ok = false;
+  r.evicted = true;
+  r.error = "ticket " + std::to_string(ticket) +
+            " expired from the completed-ticket ledger (retention " +
+            std::to_string(options_.completed_ticket_retention) + ")";
+  return r;
 }
 
 std::optional<Response> MatchingService::poll(std::uint64_t ticket) const {
@@ -195,8 +301,13 @@ std::optional<Response> MatchingService::poll(std::uint64_t ticket) const {
   {
     const std::unique_lock lock(mutex_);
     const auto it = pending_.find(ticket);
-    if (it == pending_.end())
-      throw std::invalid_argument("unknown ticket " + std::to_string(ticket));
+    if (it == pending_.end()) {
+      if (ticket == 0 || ticket >= next_ticket_)
+        throw std::invalid_argument("unknown ticket " +
+                                    std::to_string(ticket));
+      // Issued once (tickets are sequential) but gone from the ledger.
+      return evicted_response(ticket);
+    }
     future = it->second.future;
   }
   if (future.wait_for(std::chrono::seconds(0)) != std::future_status::ready)
@@ -209,8 +320,12 @@ Response MatchingService::wait(std::uint64_t ticket) const {
   {
     const std::unique_lock lock(mutex_);
     const auto it = pending_.find(ticket);
-    if (it == pending_.end())
-      throw std::invalid_argument("unknown ticket " + std::to_string(ticket));
+    if (it == pending_.end()) {
+      if (ticket == 0 || ticket >= next_ticket_)
+        throw std::invalid_argument("unknown ticket " +
+                                    std::to_string(ticket));
+      return evicted_response(ticket);
+    }
     future = it->second.future;
   }
   return future.get();
@@ -237,6 +352,7 @@ ServiceStats MatchingService::stats() const {
   ServiceStats out = stats_;
   out.queued = queue_.size();
   out.in_flight = in_flight_;
+  out.tickets_retained = pending_.size();
   return out;
 }
 

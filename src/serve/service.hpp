@@ -3,13 +3,13 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <queue>
 #include <string>
 #include <thread>
 #include <vector>
@@ -17,6 +17,7 @@
 #include "core/pipeline.hpp"
 #include "core/solver.hpp"
 #include "device/device.hpp"
+#include "serve/engine_group.hpp"
 #include "serve/instance_store.hpp"
 #include "serve/result_cache.hpp"
 
@@ -31,7 +32,10 @@ struct Request {
   int priority = 0;
   /// Milliseconds from submission after which the request must not start
   /// solving anymore — it completes immediately with `ok == false` and a
-  /// "deadline expired" error instead.  0 disables the deadline.
+  /// "deadline expired" error instead.  0 disables the deadline.  A
+  /// deadline'd request is always dispatched alone, never coalesced: the
+  /// deadline is a per-request latency contract, and tying it to batch
+  /// peers would blur whose budget expired.
   double deadline_ms = 0.0;
 };
 
@@ -43,10 +47,15 @@ struct Response {
   std::string solver;  ///< canonical spec
   SolveStats stats;
   bool ok = false;
-  bool cached = false;  ///< served from the result cache without solving
+  bool cached = false;  ///< served without solving: a result-cache hit or a
+                        ///< duplicate coalesced into the same dispatch batch
+  /// The ticket completed long ago and was evicted from the bounded
+  /// completed-ticket ledger (`ServiceOptions::completed_ticket_retention`)
+  /// — the result itself is gone; `ok` is false and `error` says so.
+  bool evicted = false;
   std::string error;
   double queue_ms = 0.0;    ///< admission queue wait
-  double service_ms = 0.0;  ///< solve + verify (0 for cache hits)
+  double service_ms = 0.0;  ///< own solve + verify (0 for cache hits)
   double total_ms = 0.0;    ///< submission to completion
 };
 
@@ -62,10 +71,10 @@ struct Submission {
 };
 
 struct ServiceOptions {
-  /// Worker threads = requests solving concurrently, each on its own
-  /// device stream of the service's engine (0 = hardware concurrency).
+  /// Worker threads = dispatches solving concurrently, each batch on its
+  /// own device stream of a routed engine (0 = hardware concurrency).
   unsigned workers = 1;
-  unsigned device_threads = 0;  ///< engine pool workers (0 = hardware)
+  unsigned device_threads = 0;  ///< per-engine pool workers (0 = hardware)
   unsigned solver_threads = 0;  ///< multicore solver workers (0 = hardware)
   device::ExecMode device_mode = device::ExecMode::kConcurrent;
   /// Admission queue depth; a submit beyond it is rejected with a reason
@@ -80,6 +89,23 @@ struct ServiceOptions {
   /// Result cache shared by all requests (and with any pipelines holding
   /// the same pointer); null serves every request by solving.
   std::shared_ptr<ResultCache> cache;
+  /// Device engines behind the service; every dispatch is routed across
+  /// them by `routing` through a `serve::EngineGroup`.  1 keeps the
+  /// single-engine behaviour.
+  unsigned engines = 1;
+  Routing routing = Routing::kLeastLoaded;
+  /// Coalesce compatible queued requests — same registered instance, no
+  /// deadline — into one pipeline batch per dispatch: one routed engine
+  /// stream and one pass of cache probes for the whole batch, duplicate
+  /// (instance, spec) requests solved once and fanned back out.
+  bool coalesce = true;
+  /// Most requests one dispatch may coalesce (0 = unbounded).
+  std::size_t coalesce_limit = 16;
+  /// Completed tickets kept for `poll`/`wait`; beyond it the oldest
+  /// completed tickets are evicted (a month-long process must not grow
+  /// its ledger forever) and polling them yields a distinct `evicted`
+  /// response.  0 = keep everything.
+  std::size_t completed_ticket_retention = 65536;
 };
 
 /// Lifetime counters of a service.  Completed = hits + solved + expired +
@@ -91,23 +117,46 @@ struct ServiceStats {
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;   ///< completed with ok == false (any cause)
   std::uint64_t expired = 0;  ///< deadline passed while queued
-  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_hits = 0;  ///< served from the shared `ResultCache`
+  /// Served as an in-batch duplicate of a coalesced dispatch (solved once
+  /// in the same batch, fanned back out) — distinct from `cache_hits` so
+  /// the cache hit-rate stays meaningful on cache-less services.
+  std::uint64_t fanout_hits = 0;
+  std::uint64_t dispatches = 0;  ///< worker dispatches (batches served)
+  /// Requests that rode a dispatch batch they shared with at least one
+  /// other request (batch size − 1 per multi-request dispatch).
+  std::uint64_t coalesced = 0;
+  std::uint64_t evicted_tickets = 0;  ///< completed tickets GC'd
   std::size_t queued = 0;     ///< snapshot: waiting for a worker
-  std::size_t in_flight = 0;  ///< snapshot: being solved right now
+  std::size_t in_flight = 0;  ///< snapshot: being served right now
+  std::size_t tickets_retained = 0;  ///< snapshot: ledger size (all states)
   double queue_ms_total = 0.0;
   double service_ms_total = 0.0;
 };
 
-/// A long-running matching service: owns one `device::Engine` for its
-/// whole lifetime, a fingerprint-deduped `InstanceStore`, and (optionally)
-/// a persistent `ResultCache`; accepts requests from any number of client
-/// threads and schedules them through a bounded, priority-ordered
-/// admission queue onto `workers` threads, each solving on its own device
-/// stream of the shared engine (one stream per solved request, retired
-/// into the engine's lifetime stats on completion).
+/// A long-running matching service: owns a pool of `device::Engine`s (a
+/// `serve::EngineGroup`) for its whole lifetime, a fingerprint-deduped
+/// `InstanceStore`, and (optionally) a persistent `ResultCache`; accepts
+/// requests from any number of client threads and schedules them through
+/// a bounded, priority-ordered admission queue onto `workers` threads.
+///
+/// Each worker dispatch takes the best queued request and — with
+/// `coalesce` on — every compatible queued request of the same instance,
+/// and serves them as one batch through the pipeline's
+/// `run_admitted_jobs` seam on a single stream of an engine picked by the
+/// group's routing policy (round-robin, least-loaded, instance-affinity).
+/// Duplicate (instance, spec) requests in a batch are solved once and
+/// fanned back out; per-request responses, deadline, and verification
+/// semantics are exactly those of the uncoalesced service.  Priorities
+/// order the dispatch *seeds*; a coalesced companion rides its batch
+/// regardless of its own priority, so a low-priority request sharing an
+/// instance with high-priority traffic can complete earlier than it
+/// would uncoalesced.
 ///
 /// ```
-/// serve::MatchingService svc({.workers = 4, .cache = cache});
+/// serve::MatchingService svc({.workers = 4, .cache = cache,
+///                             .engines = 2,
+///                             .routing = serve::Routing::kAffinity});
 /// auto handle = svc.add_instance("web", std::move(graph)).handle;
 /// auto sub = svc.submit({.instance = handle,
 ///                        .spec = SolverSpec::parse("g-pr-shr:k=1.5")});
@@ -116,7 +165,8 @@ struct ServiceStats {
 ///
 /// Results are bit-identical to a sequential `MatchingPipeline` run of the
 /// same (instance, spec) jobs: admission, solving, and verification all go
-/// through the same `admit_instance` / `run_verified` seams.
+/// through the same `admit_instance` / `run_admitted_jobs` /
+/// `run_verified` seams regardless of coalescing or engine count.
 class MatchingService {
  public:
   explicit MatchingService(ServiceOptions options = {});
@@ -139,11 +189,14 @@ class MatchingService {
   Submission submit(Request request);
 
   /// Non-blocking completion check: the response once the request is done,
-  /// `std::nullopt` while it is queued or solving.  Throws
+  /// `std::nullopt` while it is queued or solving, a distinct `evicted`
+  /// response for a ticket GC'd from the completed-ticket ledger.  Throws
   /// `std::invalid_argument` for a ticket this service never issued.
   [[nodiscard]] std::optional<Response> poll(std::uint64_t ticket) const;
 
-  /// Blocks until the ticket completes.
+  /// Blocks until the ticket completes.  An evicted ticket returns its
+  /// `evicted` response immediately; a never-issued ticket throws
+  /// `std::invalid_argument` instead of deadlocking forever.
   [[nodiscard]] Response wait(std::uint64_t ticket) const;
 
   /// Blocks until the queue is empty and no request is in flight.
@@ -157,13 +210,17 @@ class MatchingService {
   [[nodiscard]] const std::shared_ptr<ResultCache>& cache() const {
     return options_.cache;
   }
+  /// The engine pool dispatches are routed over.
+  [[nodiscard]] const EngineGroup& engine_group() const { return group_; }
+  /// The group's first engine — the whole pool when `engines == 1`.
   [[nodiscard]] const std::shared_ptr<device::Engine>& engine() const {
-    return engine_;
+    return group_.engine(0);
   }
-  /// The engine's lifetime aggregates (streams served, launches retired) —
-  /// the serving process's device-side odometer.
+  /// Engine 0's lifetime aggregates (streams served, launches retired) —
+  /// the single-engine serving process's device-side odometer; per-engine
+  /// numbers for a pool come from `engine_group().stats()`.
   [[nodiscard]] device::EngineStats engine_stats() const {
-    return engine_->stats();
+    return group_.engine(0)->stats();
   }
 
  private:
@@ -176,32 +233,35 @@ class MatchingService {
     std::unique_ptr<Solver> solver;
     std::chrono::steady_clock::time_point submitted;
   };
-  struct QueueOrder {
-    bool operator()(const std::unique_ptr<Queued>& a,
-                    const std::unique_ptr<Queued>& b) const {
-      if (a->priority != b->priority) return a->priority < b->priority;
-      return a->ticket > b->ticket;  // FIFO within a priority level
-    }
-  };
   struct Pending {
     std::promise<Response> promise;
     std::shared_future<Response> future;
   };
 
   void worker_loop();
+  /// Removes the best queued request (highest priority, FIFO within it)
+  /// plus — with coalescing on — every compatible same-instance request,
+  /// best-first, up to `coalesce_limit`.  Caller holds `mutex_`.
+  [[nodiscard]] std::vector<std::unique_ptr<Queued>> take_batch_locked();
+  /// Serves one dispatch batch: per-request deadline screening, lazy
+  /// engine acquisition, `run_admitted_jobs`, response fan-out.
+  void serve_batch(std::vector<std::unique_ptr<Queued>>& batch);
   void complete(Queued& q, Response&& response);
+  [[nodiscard]] Response evicted_response(std::uint64_t ticket) const;
 
   ServiceOptions options_;
-  std::shared_ptr<device::Engine> engine_;
+  EngineGroup group_;
   InstanceStore store_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;  ///< workers: queue non-empty / shutdown
   std::condition_variable idle_cv_;  ///< drain: queue empty and none in flight
-  std::priority_queue<std::unique_ptr<Queued>,
-                      std::vector<std::unique_ptr<Queued>>, QueueOrder>
-      queue_;
+  /// Admission queue; scanned for the best request (and its coalescing
+  /// companions) per dispatch — linear in the bounded queue depth.
+  std::vector<std::unique_ptr<Queued>> queue_;
   std::map<std::uint64_t, Pending> pending_;  ///< ticket -> future state
+  /// Completed tickets, oldest first — the GC order of the ledger.
+  std::deque<std::uint64_t> completed_order_;
   ServiceStats stats_;
   std::uint64_t next_ticket_ = 1;
   std::size_t in_flight_ = 0;

@@ -1,0 +1,180 @@
+// serve::EngineGroup (src/serve/engine_group.hpp): routing policies
+// (round-robin fairness, least-loaded idle pick, sticky instance
+// affinity with LRU eviction), the engine load gauge behind them
+// (device::Engine::add_load/remove_load/load), and the
+// failure/shutdown-while-busy edge cases (retired engines stop receiving,
+// outstanding leases keep their engine alive).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "serve/engine_group.hpp"
+
+namespace bpm::serve {
+namespace {
+
+TEST(Routing, ParsesAndNamesEveryPolicy) {
+  EXPECT_EQ(parse_routing("round-robin"), Routing::kRoundRobin);
+  EXPECT_EQ(parse_routing("least-loaded"), Routing::kLeastLoaded);
+  EXPECT_EQ(parse_routing("affinity"), Routing::kAffinity);
+  for (const Routing r : {Routing::kRoundRobin, Routing::kLeastLoaded,
+                          Routing::kAffinity})
+    EXPECT_EQ(parse_routing(routing_name(r)), r);  // round-trip
+  EXPECT_THROW((void)parse_routing("sideways"), std::invalid_argument);
+}
+
+TEST(EngineGroup, EngineLoadGaugeTracksLeases) {
+  EngineGroup group({.engines = 1});
+  const auto& engine = group.engine(0);
+  EXPECT_DOUBLE_EQ(engine->load(), 0.0);
+  {
+    const EngineGroup::Lease a = group.acquire(1, 8.0);
+    const EngineGroup::Lease b = group.acquire(2, 4.0);
+    EXPECT_DOUBLE_EQ(engine->load(), 12.0);
+    EXPECT_EQ(a.index(), 0u);
+  }
+  EXPECT_DOUBLE_EQ(engine->load(), 0.0);  // released with the leases
+
+  // A zero (or negative) work estimate still charges a unit, so holding
+  // a lease is never invisible to the least-loaded policy.
+  const EngineGroup::Lease c = group.acquire(3, 0.0);
+  EXPECT_DOUBLE_EQ(engine->load(), 1.0);
+}
+
+TEST(EngineGroup, RoundRobinIsFair) {
+  EngineGroup group({.engines = 4, .routing = Routing::kRoundRobin});
+  // 12 dispatches of wildly different fingerprints and work estimates:
+  // round-robin ignores both and deals every engine exactly 3.
+  for (int i = 0; i < 12; ++i)
+    (void)group.acquire(static_cast<std::uint64_t>(i * 7919),
+                        static_cast<double>(1 + i * 100));
+  for (const EngineGroupEngineStats& s : group.stats())
+    EXPECT_EQ(s.dispatches, 3u) << "engine " << s.index;
+}
+
+TEST(EngineGroup, LeastLoadedPicksTheIdleEngine) {
+  EngineGroup group({.engines = 3, .routing = Routing::kLeastLoaded});
+  EngineGroup::Lease a = group.acquire(1, 10.0);
+  EngineGroup::Lease b = group.acquire(2, 10.0);
+  EngineGroup::Lease c = group.acquire(3, 10.0);
+  // A cold pool fans out: three held leases land on three engines.
+  const std::set<unsigned> spread = {a.index(), b.index(), c.index()};
+  EXPECT_EQ(spread.size(), 3u);
+
+  // Release one: the next dispatch must land on the now-idle engine.
+  const unsigned freed = b.index();
+  b.release();
+  EXPECT_FALSE(b);
+  const EngineGroup::Lease d = group.acquire(4, 10.0);
+  EXPECT_EQ(d.index(), freed);
+}
+
+TEST(EngineGroup, AffinityIsStickyUntilEviction) {
+  EngineGroup group({.engines = 3, .routing = Routing::kAffinity,
+                     .affinity_capacity = 2});
+  const unsigned home = group.acquire(100, 5.0).index();
+  // Sticky: the fingerprint keeps landing on its engine even though the
+  // other engines are completely idle...
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(group.acquire(100, 5.0).index(), home);
+  // ...and even while that engine is the most loaded one in the pool.
+  const EngineGroup::Lease busy = group.acquire(100, 50.0);
+  EXPECT_EQ(busy.index(), home);
+  EXPECT_EQ(group.acquire(100, 5.0).index(), home);
+
+  // A new fingerprint takes the least-loaded pick — not the warm engine.
+  const unsigned other = group.acquire(200, 5.0).index();
+  EXPECT_NE(other, home);
+  EXPECT_EQ(group.acquire(200, 5.0).index(), other);  // sticky too
+
+  // Capacity 2: pinning a third fingerprint evicts the least-recently
+  // dispatched mapping (fingerprint 100), which then re-pins elsewhere —
+  // its old engine is the busiest, so the fresh pick avoids it.
+  (void)group.acquire(300, 5.0);
+  EXPECT_NE(group.acquire(100, 5.0).index(), home);
+}
+
+TEST(EngineGroup, RetireStopsRoutingAndDropsAffinity) {
+  EngineGroup group({.engines = 2, .routing = Routing::kAffinity});
+  const unsigned home = group.acquire(7, 5.0).index();
+  group.retire(home);
+  EXPECT_TRUE(group.retired(home));
+  group.retire(home);  // idempotent
+  // The sticky mapping died with the engine: dispatches re-route.
+  for (int i = 0; i < 4; ++i)
+    EXPECT_NE(group.acquire(7, 5.0).index(), home);
+  const auto stats = group.stats();
+  EXPECT_TRUE(stats[home].retired);
+
+  // Round-robin skips a retired engine without losing fairness among the
+  // survivors.
+  EngineGroup rr({.engines = 3, .routing = Routing::kRoundRobin});
+  rr.retire(1);
+  for (int i = 0; i < 6; ++i)
+    EXPECT_NE(rr.acquire(static_cast<std::uint64_t>(i), 1.0).index(), 1u);
+  EXPECT_EQ(rr.stats()[0].dispatches, 3u);
+  EXPECT_EQ(rr.stats()[2].dispatches, 3u);
+
+  // Every engine retired: acquire still succeeds (a draining service
+  // must make progress), falling back over the retired pool.
+  rr.retire(0);
+  rr.retire(2);
+  const EngineGroup::Lease last = rr.acquire(9, 1.0);
+  EXPECT_TRUE(last);
+}
+
+TEST(EngineGroup, ShutdownWhileBusyKeepsLeasedEnginesAlive) {
+  EngineGroup::Lease survivor;
+  {
+    EngineGroup group({.engines = 2});
+    survivor = group.acquire(1, 3.0);
+    group.retire(survivor.index());  // "failure" with the lease still out
+  }  // the whole group is gone; the lease holds the engine shared_ptr
+  ASSERT_TRUE(survivor);
+  device::Device stream(survivor.engine());
+  std::atomic<int> hits{0};
+  stream.launch(8, [&](std::int64_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 8);
+  EXPECT_DOUBLE_EQ(survivor.engine()->load(), 3.0);
+  survivor.release();
+  EXPECT_FALSE(survivor);
+}
+
+TEST(EngineGroup, ConcurrentAcquiresBalanceAndNeverLeakLoad) {
+  // The TSan-facing case: many threads acquire/release against one group
+  // under every policy; afterwards all load is released and the dispatch
+  // counters add up.
+  for (const Routing routing : {Routing::kRoundRobin, Routing::kLeastLoaded,
+                                Routing::kAffinity}) {
+    EngineGroup group({.engines = 3, .routing = routing});
+    std::vector<std::thread> threads;
+    threads.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&group, t] {
+        for (int i = 0; i < 25; ++i) {
+          const EngineGroup::Lease lease = group.acquire(
+              static_cast<std::uint64_t>((t * 25 + i) % 5), 2.0);
+          device::Device stream(lease.engine());
+          stream.launch(4, [](std::int64_t) {});
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    std::uint64_t dispatches = 0;
+    for (const EngineGroupEngineStats& s : group.stats()) {
+      dispatches += s.dispatches;
+      EXPECT_DOUBLE_EQ(s.load, 0.0);
+      EXPECT_EQ(s.device.streams_opened, s.device.streams_retired);
+    }
+    EXPECT_EQ(dispatches, 100u) << routing_name(routing);
+  }
+}
+
+}  // namespace
+}  // namespace bpm::serve

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "serve/result_cache.hpp"
+#include "util/rng.hpp"
 
 namespace bpm::serve {
 namespace {
@@ -204,6 +205,57 @@ TEST(ResultCache, MalformedSnapshotsAreRejected) {
   std::istringstream bad_version("bpm-result-cache 99 0\n");
   EXPECT_THROW((void)cache.load(bad_version), std::runtime_error);
   EXPECT_EQ(cache.load_file("/no/such/file"), 0u);  // cold start, not an error
+}
+
+TEST(ResultCache, RandomizedSnapshotSaveLoadSaveIsByteIdentical) {
+  // Property: for any cache state, save → load-into-empty-same-options →
+  // save reproduces the first snapshot byte for byte (contents AND
+  // per-shard LRU order).  Random shard counts, fingerprints that
+  // deliberately collide, solver keys / detail / error strings with
+  // whitespace and newlines (the snapshot framing is length-prefixed),
+  // failed outcomes, overwrites, and recency-shuffling gets.
+  Rng rng(4242);
+  const std::string chars =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+      ":=,.-_ \n\t";
+  const auto random_string = [&](std::size_t max_len) {
+    std::string s;
+    for (std::uint64_t c = 0, n = 1 + rng.below(max_len); c < n; ++c)
+      s += chars[rng.below(chars.size())];
+    return s;
+  };
+  for (int trial = 0; trial < 25; ++trial) {
+    const CacheOptions options{
+        .byte_budget = std::size_t{1} << 20,
+        .shards = static_cast<unsigned>(1 + rng.below(8))};
+    ResultCache cache(options);
+    const std::uint64_t distinct_fingerprints = 1 + rng.below(12);
+    for (std::uint64_t i = 0, n = 5 + rng.below(40); i < n; ++i) {
+      JobOutcome o;
+      o.stats.cardinality = static_cast<graph::index_t>(rng.below(100000));
+      o.stats.wall_ms = static_cast<double>(rng.below(1 << 20)) / 1024.0;
+      o.stats.modeled_ms = static_cast<double>(rng.below(1 << 20)) / 4096.0;
+      o.stats.device_launches = static_cast<std::int64_t>(rng.below(5000));
+      o.stats.iterations = static_cast<std::int64_t>(rng.below(500));
+      o.stats.detail = rng.below(3) == 0 ? "" : random_string(40);
+      o.ok = rng.below(5) != 0;
+      o.error = o.ok ? "" : random_string(30);
+      cache.put(rng.below(distinct_fingerprints), random_string(16), o);
+    }
+    // Shuffle recency so the LRU order differs from insertion order.
+    for (int g = 0; g < 20; ++g)
+      (void)cache.get(rng.below(distinct_fingerprints), random_string(16));
+
+    std::stringstream first;
+    cache.save(first);
+    ResultCache reloaded(options);
+    std::stringstream snapshot(first.str());
+    const std::size_t read = reloaded.load(snapshot);
+    EXPECT_EQ(read, cache.stats().entries);
+    std::stringstream second;
+    reloaded.save(second);
+    EXPECT_EQ(first.str(), second.str()) << "trial " << trial;
+  }
 }
 
 TEST(ResultCache, ClearDropsEntriesButKeepsCounters) {

@@ -1,0 +1,306 @@
+// Randomized serve conformance (src/serve/): a coalescing, multi-engine
+// MatchingService must deliver, per ticket, exactly what a sequential
+// single-engine service delivers for the same request stream — identical
+// ok flags and matching cardinalities — no matter how requests were
+// batched or which engine served them.  Streams mix instances,
+// priorities, deadlines (generous on purpose: a fired deadline would make
+// the comparison timing-dependent), and duplicate submissions.  Includes
+// a deterministic duplicate-burst coalescing check and a TSan-targeted
+// stress case (many clients, affinity routing, ledger churn); both this
+// suite and test_engine_group run in the CI TSan job.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "serve/service.hpp"
+#include "util/rng.hpp"
+
+namespace bpm::serve {
+namespace {
+
+namespace gen = graph::gen;
+
+/// A registered sleeping solver: holds workers busy for a deterministic
+/// window so bursts can pile up in the queue before the first dispatch.
+class CoalesceSleepSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "coalesce-test-sleep";
+  }
+  [[nodiscard]] SolverCaps caps() const override {
+    return {.deterministic = true, .exact = false};
+  }
+  bool set_option(std::string_view key, std::string_view value) override {
+    if (key != "ms") return false;
+    ms_ = std::stoi(std::string(value));
+    return true;
+  }
+  [[nodiscard]] SolveResult run(
+      const SolveContext&, const graph::BipartiteGraph&,
+      const matching::Matching& init) const override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms_));
+    SolveResult out{init, {}};
+    out.stats.cardinality = init.cardinality();
+    return out;
+  }
+
+ private:
+  int ms_ = 20;
+};
+
+[[maybe_unused]] const bool kRegistered = [] {
+  SolverRegistry::instance().add(
+      "coalesce-test-sleep",
+      [] { return std::make_unique<CoalesceSleepSolver>(); });
+  return true;
+}();
+
+struct StreamRequest {
+  std::size_t instance = 0;
+  std::string spec;
+  int priority = 0;
+  double deadline_ms = 0.0;
+};
+
+std::vector<graph::BipartiteGraph> conformance_graphs() {
+  std::vector<graph::BipartiteGraph> graphs;
+  graphs.push_back(gen::random_uniform(140, 150, 620, 11));
+  graphs.push_back(gen::planted_perfect(90, 2.0, 5));
+  graphs.push_back(gen::chung_lu(120, 130, 4.0, 2.4, 7));
+  return graphs;
+}
+
+const std::vector<std::string>& spec_pool() {
+  // Exact solvers only: their cardinality is the instance maximum on
+  // every run, so per-ticket equality holds even for the racy kernels
+  // whose edge sets depend on interleaving.
+  static const std::vector<std::string> specs = {
+      "hk", "pf", "g-pr-shr", "g-pr-shr:k=1.5", "p-dbfs", "seq-pr"};
+  return specs;
+}
+
+std::vector<StreamRequest> random_stream(std::uint64_t seed, std::size_t n,
+                                         std::size_t instances) {
+  Rng rng(seed);
+  std::vector<StreamRequest> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    if (!out.empty() && rng.below(100) < 30) {
+      // Duplicate submission: exactly what coalescing dedups.
+      out.push_back(out[rng.below(out.size())]);
+      continue;
+    }
+    StreamRequest r;
+    r.instance = rng.below(instances);
+    r.spec = spec_pool()[rng.below(spec_pool().size())];
+    r.priority = static_cast<int>(rng.below(5)) - 2;
+    r.deadline_ms = rng.below(4) == 0 ? 60'000.0 : 0.0;
+    out.push_back(r);
+  }
+  return out;
+}
+
+struct Served {
+  bool ok = false;
+  graph::index_t cardinality = 0;
+};
+
+/// Registers the conformance graphs, submits the whole stream, waits for
+/// every ticket, and returns per-ticket outcomes in submission order.
+std::vector<Served> run_stream(const ServiceOptions& options,
+                               const std::vector<StreamRequest>& stream) {
+  MatchingService svc(options);
+  std::vector<std::size_t> handles;
+  std::size_t next = 0;
+  for (graph::BipartiteGraph& g : conformance_graphs())
+    handles.push_back(
+        svc.add_instance("g" + std::to_string(next++), std::move(g)).handle);
+
+  std::vector<Submission> subs;
+  subs.reserve(stream.size());
+  for (const StreamRequest& r : stream)
+    subs.push_back(svc.submit({.instance = handles[r.instance],
+                               .spec = SolverSpec::parse(r.spec),
+                               .priority = r.priority,
+                               .deadline_ms = r.deadline_ms}));
+
+  std::vector<Served> out(stream.size());
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    EXPECT_TRUE(subs[i].accepted) << subs[i].reason;  // queue sized for all
+    if (!subs[i].accepted) continue;
+    const Response r = subs[i].future.get();
+    EXPECT_TRUE(r.ok) << "request " << i << " (" << stream[i].spec
+                      << "): " << r.error;
+    out[i] = {r.ok, r.stats.cardinality};
+  }
+  return out;
+}
+
+TEST(ServeConformance, CoalescingMultiEngineMatchesSequentialReference) {
+  const std::size_t instances = conformance_graphs().size();
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    const std::vector<StreamRequest> stream =
+        random_stream(seed, 48, instances);
+
+    ServiceOptions reference;
+    reference.workers = 1;
+    reference.queue_depth = stream.size() + 1;
+    reference.coalesce = false;  // engines = 1: the serial baseline
+    const std::vector<Served> want = run_stream(reference, stream);
+
+    for (const Routing routing : {Routing::kRoundRobin,
+                                  Routing::kLeastLoaded,
+                                  Routing::kAffinity}) {
+      ServiceOptions options;
+      options.workers = 3;
+      options.queue_depth = stream.size() + 1;
+      options.cache = std::make_shared<ResultCache>();
+      options.engines = 3;
+      options.routing = routing;
+      options.coalesce = true;
+      options.coalesce_limit = 6;
+      const std::vector<Served> got = run_stream(options, stream);
+
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].ok, want[i].ok)
+            << "seed " << seed << " routing " << routing_name(routing)
+            << " request " << i << " (" << stream[i].spec << ")";
+        EXPECT_EQ(got[i].cardinality, want[i].cardinality)
+            << "seed " << seed << " routing " << routing_name(routing)
+            << " request " << i << " (" << stream[i].spec << ")";
+      }
+    }
+  }
+}
+
+TEST(ServeConformance, DuplicateBurstCoalescesIntoOneSolve) {
+  // Two blockers pin both workers while 32 identical requests pile up;
+  // the first free worker must then take them as ONE dispatch batch,
+  // solve once, and fan the result back out to every ticket.
+  auto cache = std::make_shared<ResultCache>();
+  ServiceOptions options;
+  options.workers = 2;
+  options.queue_depth = 64;
+  options.cache = cache;
+  options.engines = 2;
+  options.coalesce = true;
+  options.coalesce_limit = 0;  // unbounded batch
+  MatchingService svc(options);
+  // Two *distinct* blocker instances: same-instance blockers would
+  // coalesce into one dispatch and leave a worker free to nibble at the
+  // burst before it is fully queued.
+  const std::size_t blocker_handles[] = {
+      svc.add_instance("blocker-a", gen::complete_bipartite(6, 6)).handle,
+      svc.add_instance("blocker-b", gen::complete_bipartite(7, 7)).handle};
+  const auto burst_handle =
+      svc.add_instance("burst", gen::random_uniform(140, 150, 620, 11))
+          .handle;
+  const graph::index_t maximum =
+      svc.instances().get(burst_handle).maximum_cardinality;
+
+  std::vector<Submission> blockers;
+  for (const std::size_t handle : blocker_handles)
+    blockers.push_back(
+        svc.submit({.instance = handle,
+                    .spec = SolverSpec::parse("coalesce-test-sleep:ms=250")}));
+  for (const Submission& b : blockers) ASSERT_TRUE(b.accepted) << b.reason;
+
+  std::vector<Submission> burst;
+  for (int i = 0; i < 32; ++i)
+    burst.push_back(svc.submit(
+        {.instance = burst_handle, .spec = SolverSpec::parse("hk")}));
+  std::size_t cached = 0;
+  for (const Submission& sub : burst) {
+    ASSERT_TRUE(sub.accepted) << sub.reason;
+    const Response r = sub.future.get();
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.stats.cardinality, maximum);
+    if (r.cached) {
+      ++cached;
+      EXPECT_EQ(r.service_ms, 0.0);
+      EXPECT_EQ(r.stats.wall_ms, 0.0);  // cost is never re-charged
+    }
+  }
+  for (const Submission& b : blockers) (void)b.future.get();
+
+  // 31 of 32 rode the batch: one solve, one cache miss, zero re-solves.
+  // All 31 are in-batch fan-out, NOT ResultCache hits — the duplicates
+  // never even probe the cache.  (The two blocker dispatches contribute
+  // one miss + one entry each.)
+  EXPECT_EQ(cached, 31u);
+  const ServiceStats s = svc.stats();
+  EXPECT_EQ(s.coalesced, 31u);
+  EXPECT_EQ(s.fanout_hits, 31u);
+  EXPECT_EQ(s.cache_hits, 0u);
+  EXPECT_EQ(cache->stats().misses, 3u);
+  EXPECT_EQ(cache->stats().entries, 3u);
+  EXPECT_EQ(cache->stats().hits, 0u);
+}
+
+TEST(ServeConformance, TSanStressClientsHammerCoalescingMultiEngine) {
+  // The race-hunting configuration: 4 client threads submitting mixed
+  // duplicate-heavy traffic against 4 workers x 3 engines with affinity
+  // routing, a sharded cache, an aggressively small completed-ticket
+  // ledger (GC races with polling), and concurrent poll() calls.
+  ServiceOptions options;
+  options.workers = 4;
+  options.queue_depth = 512;
+  options.cache = std::make_shared<ResultCache>(CacheOptions{.shards = 4});
+  options.engines = 3;
+  options.routing = Routing::kAffinity;
+  options.coalesce = true;
+  options.coalesce_limit = 8;
+  options.completed_ticket_retention = 16;
+  MatchingService svc(options);
+  const auto a =
+      svc.add_instance("a", gen::random_uniform(120, 130, 540, 3)).handle;
+  const auto b = svc.add_instance("b", gen::planted_perfect(80, 2.0, 9)).handle;
+  const graph::index_t max_a = svc.instances().get(a).maximum_cardinality;
+  const graph::index_t max_b = svc.instances().get(b).maximum_cardinality;
+
+  const std::vector<std::string> specs = {"hk", "pf", "g-pr-shr"};
+  std::atomic<int> bad{0};
+  std::vector<std::thread> clients;
+  clients.reserve(4);
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(static_cast<std::uint64_t>(c) + 77);
+      for (int i = 0; i < 24; ++i) {
+        const bool use_a = rng.below(2) == 0;
+        Submission sub = svc.submit(
+            {.instance = use_a ? a : b,
+             .spec = SolverSpec::parse(specs[rng.below(specs.size())]),
+             .priority = static_cast<int>(rng.below(3))});
+        if (!sub.accepted) {
+          ++bad;
+          continue;
+        }
+        // Hammer poll concurrently with completion and ledger GC; any
+        // state is legal here (pending, done, or already evicted) — the
+        // correctness check rides the future below.
+        (void)svc.poll(sub.ticket);
+        const Response r = sub.future.get();
+        if (!r.ok || r.stats.cardinality != (use_a ? max_a : max_b)) ++bad;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  svc.drain();
+  EXPECT_EQ(bad.load(), 0);
+  const ServiceStats s = svc.stats();
+  EXPECT_EQ(s.completed, 96u);
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_LE(s.tickets_retained, 16u);
+  EXPECT_GE(s.evicted_tickets, 96u - 16u);
+}
+
+}  // namespace
+}  // namespace bpm::serve

@@ -6,12 +6,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/solver.hpp"
 #include "graph/generators.hpp"
 #include "matching/matching.hpp"
+#include "util/rng.hpp"
 
 namespace bpm {
 namespace {
@@ -126,6 +130,51 @@ TEST(SolverSpec, InstantiatedTunedSolverRunsEndToEnd) {
 TEST(SolverSpec, AliasesResolveThroughSpecs) {
   EXPECT_EQ(SolverSpec::parse("g-pr").instantiate()->name(), "g-pr-shr");
   EXPECT_EQ(SolverSpec::parse("pr:k=2").instantiate()->name(), "seq-pr");
+}
+
+TEST(SolverSpec, RandomizedCanonicalRoundTripsAreFixedPoints) {
+  // Property: for any spec `s` the grammar can express,
+  // parse(canonical(s)) == s — same name, same option multiset, and the
+  // canonical form is a fixed point of parse∘canonical.  400 random specs
+  // over every registered solver name with random (possibly duplicate)
+  // keys and values drawn from the grammar's alphabet.
+  Rng rng(20260727);
+  const std::vector<std::string> names = SolverRegistry::instance().names();
+  const std::string key_chars = "abcdefghijklmnopqrstuvwxyz0123456789-";
+  const std::string val_chars =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+      "0123456789.-_+";
+  for (int trial = 0; trial < 400; ++trial) {
+    SolverSpec spec;
+    spec.name = names[rng.below(names.size())];
+    const std::size_t num_options = rng.below(4);
+    for (std::size_t o = 0; o < num_options; ++o) {
+      std::string key, val;
+      for (std::uint64_t c = 0, n = 1 + rng.below(6); c < n; ++c)
+        key += key_chars[rng.below(key_chars.size())];
+      for (std::uint64_t c = 0, n = 1 + rng.below(8); c < n; ++c)
+        val += val_chars[rng.below(val_chars.size())];
+      spec.options.emplace_back(std::move(key), std::move(val));
+    }
+
+    const std::string canon = spec.canonical();
+    const SolverSpec re = SolverSpec::parse(canon);
+    EXPECT_EQ(re.name, spec.name) << canon;
+    EXPECT_EQ(re.canonical(), canon) << canon;  // the fixed point
+    ASSERT_EQ(re.options.size(), spec.options.size()) << canon;
+    // Same option multiset: canonicalisation only reorders.
+    auto want = spec.options;
+    auto got = re.options;
+    std::stable_sort(want.begin(), want.end());
+    std::stable_sort(got.begin(), got.end());
+    EXPECT_EQ(got, want) << canon;
+
+    // parse_list must treat the canonical spec as exactly one entry
+    // (option continuation shares the comma with the list separator).
+    const std::vector<SolverSpec> list = SolverSpec::parse_list(canon);
+    ASSERT_EQ(list.size(), 1u) << canon;
+    EXPECT_EQ(list[0].canonical(), canon);
+  }
 }
 
 }  // namespace
