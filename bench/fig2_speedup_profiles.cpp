@@ -22,7 +22,8 @@ int main(int argc, char** argv) {
                 "Figure 2: speedup profiles of the selected solvers vs "
                 "sequential PR");
   register_suite_flags(cli, /*default_stride=*/1,
-                       /*default_algos=*/"g-pr-shr,g-hkdw,p-dbfs");
+                       /*default_algos=*/"g-pr-shr,g-hkdw,p-dbfs",
+                       /*with_json=*/true);
   cli.parse(argc, argv);
   const SuiteOptions opt = suite_options_from_cli(cli);
 
@@ -38,15 +39,20 @@ int main(int argc, char** argv) {
 
   bool all_ok = true;
   std::vector<std::vector<double>> speedups(solvers.size());
+  std::vector<JsonRecord> records;
   for (const auto& bi : suite) {
     const AlgoResult pr = run_solver(*baseline, dev, bi, opt.threads);
     all_ok &= pr.ok;
+    records.push_back(
+        to_json_record(bi.meta.name, to_string(bi.meta.cls), "seq-pr", pr));
     if (opt.verbose)
       std::cout << "  " << bi.meta.name << ": PR=" << pr.seconds << "s";
     for (std::size_t i = 0; i < solvers.size(); ++i) {
       const AlgoResult r = run_solver(*solvers[i], dev, bi, opt.threads);
       all_ok &= r.ok;
       speedups[i].push_back(pr.seconds / device_seconds(r, opt));
+      records.push_back(to_json_record(bi.meta.name, to_string(bi.meta.cls),
+                                       opt.algos[i].canonical(), r));
       if (opt.verbose)
         std::cout << "  " << opt.algos[i].canonical() << " x"
                   << speedups[i].back();
@@ -81,10 +87,22 @@ int main(int argc, char** argv) {
   };
   std::cout << "\nKey paper numbers (G-PR / G-HKDW / P-DBFS): P(>=5) was "
                "0.39 / 0.21 / 0.14 and P(>=1) for G-PR was 0.82.\nMeasured:";
-  for (std::size_t i = 0; i < solvers.size(); ++i)
+  std::vector<std::pair<std::string, double>> summary;
+  for (std::size_t i = 0; i < solvers.size(); ++i) {
     std::cout << "  " << opt.algos[i].canonical()
               << " P(>=5)=" << frac_at(profiles[i], 5.0)
               << " P(>=1)=" << frac_at(profiles[i], 1.0);
+    summary.emplace_back("p_speedup_ge5:" + opt.algos[i].canonical(),
+                         frac_at(profiles[i], 5.0));
+    summary.emplace_back("p_speedup_ge1:" + opt.algos[i].canonical(),
+                         frac_at(profiles[i], 1.0));
+  }
   std::cout << "\n";
+  try {
+    write_json(opt.json_path, "fig2_speedup_profiles", records, summary);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
   return all_ok ? 0 : 1;
 }

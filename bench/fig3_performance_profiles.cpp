@@ -21,7 +21,8 @@ int main(int argc, char** argv) {
   CliParser cli("fig3_performance_profiles",
                 "Figure 3: performance profiles of the selected solvers");
   register_suite_flags(cli, /*default_stride=*/1,
-                       /*default_algos=*/"g-pr-shr,g-hkdw,p-dbfs");
+                       /*default_algos=*/"g-pr-shr,g-hkdw,p-dbfs",
+                       /*with_json=*/true);
   cli.parse(argc, argv);
   const SuiteOptions opt = suite_options_from_cli(cli);
 
@@ -40,12 +41,15 @@ int main(int argc, char** argv) {
 
   bool all_ok = true;
   std::vector<std::vector<double>> times(solvers.size());
+  std::vector<JsonRecord> records;
   std::size_t first_best = 0;  // instances where the first solver is best
   for (const auto& bi : suite) {
     double best = 0.0, first = 0.0;
     for (std::size_t i = 0; i < solvers.size(); ++i) {
       const AlgoResult r = run_solver(*solvers[i], dev, bi, opt.threads);
       all_ok &= r.ok;
+      records.push_back(
+          to_json_record(bi.meta.name, to_string(bi.meta.cls), names[i], r));
       const double t = device_seconds(r, opt);
       times[i].push_back(t);
       if (i == 0) first = t;
@@ -90,5 +94,17 @@ int main(int argc, char** argv) {
             << static_cast<double>(first_best) /
                    static_cast<double>(suite.size())
             << "\n";
+  std::vector<std::pair<std::string, double>> summary;
+  for (std::size_t a = 0; a < profiles.size(); ++a)
+    summary.emplace_back("p_within_1.5x:" + names[a], frac_at(a, 1.5));
+  summary.emplace_back("first_solver_best_fraction",
+                       static_cast<double>(first_best) /
+                           static_cast<double>(suite.size()));
+  try {
+    write_json(opt.json_path, "fig3_performance_profiles", records, summary);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
   return all_ok ? 0 : 1;
 }

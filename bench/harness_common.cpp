@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <stdexcept>
 #include <thread>
 
 #include "matching/greedy.hpp"
@@ -11,7 +15,7 @@
 namespace bpm::bench {
 
 void register_suite_flags(CliParser& cli, int default_stride,
-                          const std::string& default_algos) {
+                          const std::string& default_algos, bool with_json) {
   cli.add_option("scale", "instance size relative to the paper's (Table I)",
                  "0.015625");
   cli.add_option("seed", "generator seed", "1");
@@ -27,6 +31,11 @@ void register_suite_flags(CliParser& cli, int default_stride,
   cli.add_flag("no-model",
                "report raw simulator wall time for GPU algorithms instead "
                "of modeled C2050 device time");
+  if (with_json)
+    cli.add_option("json",
+                   "write instance x algo results (time/launches/matched) as "
+                   "JSON to this path (empty = off)",
+                   "");
   if (!default_algos.empty()) add_algo_flag(cli, default_algos);
 }
 
@@ -41,6 +50,7 @@ SuiteOptions suite_options_from_cli(const CliParser& cli) {
   opt.verbose = cli.get_flag("verbose");
   opt.csv = cli.get_flag("csv");
   opt.no_model = cli.get_flag("no-model");
+  if (cli.has("json")) opt.json_path = cli.get_string("json");
   if (cli.has("algo")) opt.algos = solver_specs_from_cli(cli);
   return opt;
 }
@@ -117,6 +127,7 @@ AlgoResult run_solver(const Solver& solver, device::Device& dev,
   r.seconds = result.stats.wall_ms / 1e3;
   r.modeled_seconds = result.stats.modeled_ms / 1e3;
   r.cardinality = result.stats.cardinality;
+  r.launches = result.stats.device_launches;
   const bool maximum = solver.caps().exact
                            ? r.cardinality == bi.maximum_cardinality
                            : r.cardinality <= bi.maximum_cardinality;
@@ -134,6 +145,76 @@ AlgoResult run_solver(const std::string& name, device::Device& dev,
                       const BuiltInstance& bi, unsigned threads) {
   return run_solver(*SolverRegistry::instance().create(name), dev, bi,
                     threads);
+}
+
+// ---- machine-readable results (`--json`) -----------------------------------
+
+namespace {
+
+/// JSON string escaping for the few metacharacters our labels can contain.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Doubles with enough digits to round-trip (max_digits10 = 17).
+std::string json_number(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+JsonRecord to_json_record(const std::string& instance,
+                          const std::string& suite, const std::string& algo,
+                          const AlgoResult& r) {
+  return {instance, suite,       algo,        r.seconds, r.modeled_seconds,
+          r.launches, r.cardinality, r.ok};
+}
+
+void write_json(const std::string& path, const std::string& bench,
+                const std::vector<JsonRecord>& records,
+                const std::vector<std::pair<std::string, double>>& summary) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_json: cannot open " + path);
+  out << "{\n  \"bench\": \"" << json_escape(bench) << "\",\n"
+      << "  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const JsonRecord& r = records[i];
+    out << "    {\"instance\": \"" << json_escape(r.instance)
+        << "\", \"suite\": \"" << json_escape(r.suite) << "\", \"algo\": \""
+        << json_escape(r.algo) << "\", \"wall_s\": " << json_number(r.wall_s)
+        << ", \"modeled_s\": " << json_number(r.modeled_s)
+        << ", \"launches\": " << r.launches << ", \"matched\": " << r.matched
+        << ", \"ok\": " << (r.ok ? "true" : "false") << "}"
+        << (i + 1 < records.size() ? "," : "") << '\n';
+  }
+  out << "  ],\n  \"summary\": {";
+  for (std::size_t i = 0; i < summary.size(); ++i)
+    out << (i ? ", " : "") << "\"" << json_escape(summary[i].first)
+        << "\": " << json_number(summary[i].second);
+  out << "}\n}\n";
+  if (!out.good()) throw std::runtime_error("write_json: write failed: " + path);
 }
 
 void print_header(const std::string& title, const SuiteOptions& opt,

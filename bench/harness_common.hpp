@@ -36,6 +36,11 @@ struct SuiteOptions {
   /// flag.  Instantiate with `spec.instantiate()`; label columns with
   /// `spec.canonical()` so tuned runs are distinguishable.
   std::vector<SolverSpec> algos;
+  /// `--json <path>`: write the (instance × algo) results as a
+  /// machine-readable JSON document next to the human tables (see
+  /// `write_json`).  Empty = off.  This is how BENCH_*.json perf
+  /// trajectories are recorded.
+  std::string json_path;
 };
 
 /// Registers the shared flags on `cli`; call `cli.parse` afterwards and
@@ -43,8 +48,12 @@ struct SuiteOptions {
 /// (Figure 1 runs 21 configurations) default to a subset of the 28.
 /// A non-empty `default_algos` additionally registers --algo, letting the
 /// harness run any set of registry solvers without code changes.
+/// `with_json` registers `--json <path>` — only harnesses that actually
+/// call `write_json` pass true, so the flag fails loudly (unknown-flag
+/// error) instead of being silently ignored elsewhere.
 void register_suite_flags(CliParser& cli, int default_stride = 1,
-                          const std::string& default_algos = "");
+                          const std::string& default_algos = "",
+                          bool with_json = false);
 [[nodiscard]] SuiteOptions suite_options_from_cli(const CliParser& cli);
 
 /// One generated instance with its cheap-matching initialisation.
@@ -77,6 +86,7 @@ struct AlgoResult {
   double seconds = 0.0;          ///< host wall time of the run
   double modeled_seconds = 0.0;  ///< device-model time; 0 for CPU algorithms
   graph::index_t cardinality = 0;
+  std::int64_t launches = 0;     ///< device kernel launches; 0 for CPU
   bool ok = false;
 };
 
@@ -117,5 +127,36 @@ struct AlgoResult {
 /// Prints the standard harness header (instance count, scale, hardware).
 void print_header(const std::string& title, const SuiteOptions& opt,
                   std::size_t num_instances);
+
+// ---- machine-readable results (`--json`) -----------------------------------
+
+/// One (instance × algo) measurement of a harness run.  `suite` tags the
+/// instance group ("uniform", "skew", a Table I class, ...) so downstream
+/// tooling can aggregate without parsing instance names.
+struct JsonRecord {
+  std::string instance;
+  std::string suite;
+  std::string algo;  ///< canonical solver spec (`SolverSpec::canonical`)
+  double wall_s = 0.0;
+  double modeled_s = 0.0;
+  std::int64_t launches = 0;
+  graph::index_t matched = 0;
+  bool ok = false;
+};
+
+/// An `AlgoResult` as a record, labels supplied by the caller.
+[[nodiscard]] JsonRecord to_json_record(const std::string& instance,
+                                        const std::string& suite,
+                                        const std::string& algo,
+                                        const AlgoResult& r);
+
+/// Writes `{"bench": ..., "records": [...], "summary": {...}}` with a
+/// stable field order, records in input order, and summary metrics sorted
+/// by the caller's order.  Throws `std::runtime_error` if the file cannot
+/// be written.  No-op when `path` is empty, so harnesses can pass
+/// `opt.json_path` unconditionally.
+void write_json(const std::string& path, const std::string& bench,
+                const std::vector<JsonRecord>& records,
+                const std::vector<std::pair<std::string, double>>& summary);
 
 }  // namespace bpm::bench

@@ -23,7 +23,8 @@ int main(int argc, char** argv) {
   CliParser cli("table1_runtimes",
                 "Table I: instance statistics and per-solver runtimes");
   register_suite_flags(cli, /*default_stride=*/1,
-                       /*default_algos=*/"g-pr-shr,g-hkdw,p-dbfs,seq-pr");
+                       /*default_algos=*/"g-pr-shr,g-hkdw,p-dbfs,seq-pr",
+                       /*with_json=*/true);
   SuiteOptions opt;
   try {
     cli.parse(argc, argv);
@@ -48,6 +49,7 @@ int main(int argc, char** argv) {
   Table table(std::move(headers), 3);
 
   std::vector<std::vector<double>> times(solvers.size());
+  std::vector<JsonRecord> records;
   for (const auto& bi : suite) {
     std::vector<Table::Cell> row{
         static_cast<std::int64_t>(bi.meta.id), bi.meta.name,
@@ -61,6 +63,8 @@ int main(int argc, char** argv) {
       all_ok &= r.ok;
       times[i].push_back(device_seconds(r, opt));
       row.push_back(times[i].back());
+      records.push_back(to_json_record(bi.meta.name, to_string(bi.meta.cls),
+                                       opt.algos[i].canonical(), r));
     }
     table.add_row(std::move(row));
   }
@@ -75,6 +79,17 @@ int main(int argc, char** argv) {
     std::cout << table.to_csv();
   else
     table.print(std::cout);
+
+  std::vector<std::pair<std::string, double>> summary;
+  for (std::size_t i = 0; i < opt.algos.size(); ++i)
+    summary.emplace_back("geomean_s:" + opt.algos[i].canonical(),
+                         geometric_mean(times[i]));
+  try {
+    write_json(opt.json_path, "table1_runtimes", records, summary);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
 
   std::cout << "\nPaper geometric means (seconds, Tesla C2050 / 8-thread "
                "Xeon): G-PR 0.70, G-HKDW 0.92, P-DBFS 1.99, PR 2.15.\n"

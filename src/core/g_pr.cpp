@@ -1,10 +1,12 @@
 #include "core/g_pr.hpp"
 
+#include <span>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "core/relabel_policy.hpp"
+#include "device/scan.hpp"
 #include "util/timer.hpp"
 
 namespace bpm::gpu {
@@ -33,10 +35,15 @@ struct MinScan {
   std::int64_t scanned;  ///< adjacency entries inspected (device model work)
 };
 
-inline MinScan scan_min_row(const BipartiteGraph& g, const DeviceState& st,
-                            index_t v, index_t psi_v, index_t psi_inf) {
+/// Flat-slice form: scans `adj[0, degree)` directly.  The balanced
+/// frontier caches each active column's CSR slice start so its push
+/// kernel reads the adjacency without resolving `col_ptr` again.
+inline MinScan scan_min_row(const index_t* adj, std::int64_t degree,
+                            const DeviceState& st, index_t psi_v,
+                            index_t psi_inf) {
   MinScan r{psi_inf, kUnmatched, 0};
-  for (index_t u : g.col_neighbors(v)) {
+  for (std::int64_t e = 0; e < degree; ++e) {
+    const index_t u = adj[e];
     ++r.scanned;
     const index_t pu = st.psi_row.load(static_cast<std::size_t>(u));
     if (pu < r.psi_min) {
@@ -46,6 +53,49 @@ inline MinScan scan_min_row(const BipartiteGraph& g, const DeviceState& st,
     }
   }
   return r;
+}
+
+inline MinScan scan_min_row(const BipartiteGraph& g, const DeviceState& st,
+                            index_t v, index_t psi_v, index_t psi_inf) {
+  const std::span<const index_t> nb = g.col_neighbors(v);
+  return scan_min_row(nb.data(), static_cast<std::int64_t>(nb.size()), st,
+                      psi_v, psi_inf);
+}
+
+/// G-PR-SHRKRNL's stream-compaction shape, shared by the shrink driver and
+/// the balanced frontier (paper §III-C2): per-worker survivor counting
+/// into cache-line-padded tallies, a serial prefix over the (tiny) worker
+/// counts, then per-worker writes into private output regions.
+/// `resolve(i)` names slot i's surviving column or −1; `prepare(total)`
+/// sizes the outputs between the passes; `emit(out, v)` stores survivor
+/// `v` at dense index `out` (each index written by exactly one worker).
+/// Returns the survivor count.  Two `launch_chunked` launches; the model
+/// work is charged by the caller.
+template <typename Resolve, typename Prepare, typename Emit>
+std::int64_t compact_survivors(device::Device& dev, std::int64_t len,
+                               Resolve&& resolve, Prepare&& prepare,
+                               Emit&& emit) {
+  std::vector<device::PaddedCount> tallies(dev.num_workers());
+  dev.launch_chunked(len, [&](unsigned w, std::int64_t begin,
+                              std::int64_t end) {
+    std::int64_t count = 0;
+    for (std::int64_t i = begin; i < end; ++i)
+      if (resolve(i) != -1) ++count;
+    tallies[w].value = count;
+  });
+  std::vector<std::int64_t> counts(dev.num_workers() + 1, 0);
+  for (std::size_t w = 0; w < tallies.size(); ++w)
+    counts[w + 1] = counts[w] + tallies[w].value;
+  prepare(counts.back());
+  dev.launch_chunked(len, [&](unsigned w, std::int64_t begin,
+                              std::int64_t end) {
+    std::int64_t out = counts[w];
+    for (std::int64_t i = begin; i < end; ++i) {
+      const index_t v = resolve(i);
+      if (v != -1) emit(out++, v);
+    }
+  });
+  return counts.back();
 }
 
 std::int64_t loop_bound(const BipartiteGraph& g, const GprOptions& options) {
@@ -239,41 +289,24 @@ void run_active_list(device::Device& dev, const BipartiteGraph& g,
     timer.restart();
 
     if (with_shrink && shrink && len >= options.shrink_threshold) {
-      // G-PR-SHRKRNL: resolve (roll back conflicts) and compact in two
-      // passes — per-worker counting, prefix sum over worker counts,
-      // per-worker writes into private regions (paper §III-C2).
-      auto resolve = [&](std::int64_t i) -> index_t {
-        const index_t v_prev = ap.load(static_cast<std::size_t>(i));
-        if (v_prev != -1 && is_active_column(st, v_prev)) return v_prev;
-        return ac.load(static_cast<std::size_t>(i));
-      };
-      // Padded per-worker tallies: adjacent int64 slots would share cache
-      // lines across the concurrently-writing workers.
-      std::vector<device::PaddedCount> tallies(dev.num_workers());
-      dev.launch_chunked(len, [&](unsigned w, std::int64_t begin,
-                                  std::int64_t end) {
-        std::int64_t count = 0;
-        for (std::int64_t i = begin; i < end; ++i)
-          if (resolve(i) != -1) ++count;
-        tallies[w].value = count;
-      });
-      std::vector<std::int64_t> counts(dev.num_workers() + 1, 0);
-      for (std::size_t w = 0; w < tallies.size(); ++w)
-        counts[w + 1] = counts[w] + tallies[w].value;
-      const std::int64_t total = counts.back();
-
-      device::relaxed_vector<index_t> compacted(
-          static_cast<std::size_t>(total), -1);
-      dev.launch_chunked(len, [&](unsigned w, std::int64_t begin,
-                                  std::int64_t end) {
-        std::int64_t out = counts[w];
-        for (std::int64_t i = begin; i < end; ++i) {
-          const index_t v = resolve(i);
-          if (v == -1) continue;
-          compacted.store(static_cast<std::size_t>(out++), v);
-          i_a.store(static_cast<std::size_t>(v), loop_stamp);
-        }
-      });
+      // G-PR-SHRKRNL: resolve (roll back conflicts) and compact via the
+      // shared two-pass stream compaction (paper §III-C2).
+      device::relaxed_vector<index_t> compacted;
+      const std::int64_t total = compact_survivors(
+          dev, len,
+          [&](std::int64_t i) -> index_t {
+            const index_t v_prev = ap.load(static_cast<std::size_t>(i));
+            if (v_prev != -1 && is_active_column(st, v_prev)) return v_prev;
+            return ac.load(static_cast<std::size_t>(i));
+          },
+          [&](std::int64_t survivors) {
+            compacted = device::relaxed_vector<index_t>(
+                static_cast<std::size_t>(survivors), -1);
+          },
+          [&](std::int64_t out, index_t v) {
+            compacted.store(static_cast<std::size_t>(out), v);
+            i_a.store(static_cast<std::size_t>(v), loop_stamp);
+          });
       ap = compacted;            // PUSH leaves forbidden slots untouched in
       ac = std::move(compacted);  // Ap; seeding both with v keeps the
                                   // roll-back path identical to INITKRNL's.
@@ -354,6 +387,152 @@ void run_active_list(device::Device& dev, const BipartiteGraph& g,
   stats.loops = loop;
 }
 
+/// Workload-balanced driver (GprOptions::balance, solver `g-pr-wb`).
+///
+/// Semantically this is the shrink driver with compaction every iteration:
+/// the same resolve/roll-back rules (a slot's pusher rolls back while it
+/// is still active, otherwise the slot yields its displaced column or
+/// dies) and the same iA conflict stamps, so the termination and
+/// maximality arguments of Algorithms 7–9 carry over unchanged.  What
+/// changes is the execution schedule:
+///
+///  * every loop the active columns are compacted into a dense SoA
+///    frontier — column ids, cached ψ, flat CSR slice starts, and degrees
+///    — so the push kernel never scans a dead slot and never re-resolves
+///    `col_ptr`;
+///  * the degree prefix sum of the frontier (device::exclusive_scan via
+///    balanced_offsets) feeds Device::launch_balanced, which partitions
+///    the frontier's *edges* rather than its columns into equal chunks —
+///    a high-degree hub column no longer serializes a chunk that also
+///    holds an equal share of every other column (Hsieh et al.,
+///    arXiv:2404.00270).
+void run_balanced(device::Device& dev, const BipartiteGraph& g,
+                  DeviceState& st, const GprOptions& options, GprStats& stats,
+                  GprObserver* observer) {
+  const index_t psi_inf = g.psi_infinity();
+  const std::int64_t max_loops = loop_bound(g, options);
+  const std::vector<graph::offset_t>& col_ptr = g.col_ptr();
+  const index_t* col_adj = g.col_adj().data();
+
+  // Previous loop's frontier (the pushers — the Ap role) and its push
+  // outputs (displaced columns or −1 — the Ac role), slot-parallel.
+  // Plain vectors: each slot has exactly one writer per launch and the
+  // launch barrier publishes the writes to the next loop's kernels.
+  std::vector<index_t> cols;
+  for (index_t v = 0; v < g.num_cols(); ++v)
+    if (st.mu_col.load(static_cast<std::size_t>(v)) == kUnmatched)
+      cols.push_back(v);
+  std::vector<index_t> displaced(cols.size(), kUnmatched);
+
+  // Dense frontier SoA, rebuilt by the compaction each loop.
+  std::vector<index_t> f_cols, f_psi;
+  std::vector<graph::offset_t> f_adj_begin;
+  std::vector<std::int64_t> f_degree;
+  device::relaxed_vector<index_t> i_a(static_cast<std::size_t>(g.num_cols()),
+                                      -1);
+
+  std::int64_t loop = 0;
+  RelabelScheduler relabels(g, options);
+  Timer timer;
+  auto len = static_cast<std::int64_t>(cols.size());
+  stats.active_peak = static_cast<index_t>(len);
+
+  while (len > 0) {
+    (void)relabels.on_loop(dev, g, st, loop, stats, timer);
+    const auto loop_stamp = static_cast<index_t>(loop);
+    timer.restart();
+
+    // --- frontier compaction -------------------------------------------
+    // The shared SHRKRNL-shaped stream compaction, emitting the dense
+    // frontier SoA instead of a bare column list.
+    const std::int64_t total = compact_survivors(
+        dev, len,
+        [&](std::int64_t i) -> index_t {
+          const index_t v_prev = cols[static_cast<std::size_t>(i)];
+          if (v_prev != -1 && is_active_column(st, v_prev)) return v_prev;
+          return displaced[static_cast<std::size_t>(i)];
+        },
+        [&](std::int64_t survivors) {
+          const auto sz = static_cast<std::size_t>(survivors);
+          f_cols.assign(sz, -1);
+          f_psi.assign(sz, 0);
+          f_adj_begin.assign(sz, 0);
+          f_degree.assign(sz, 0);
+        },
+        [&](std::int64_t out, index_t v) {
+          const auto oz = static_cast<std::size_t>(out);
+          const auto vz = static_cast<std::size_t>(v);
+          f_cols[oz] = v;
+          f_psi[oz] = st.psi_col.load(vz);
+          f_adj_begin[oz] = col_ptr[vz];
+          f_degree[oz] =
+              static_cast<std::int64_t>(col_ptr[vz + 1] - col_ptr[vz]);
+          i_a.store(vz, loop_stamp);
+        });
+    // Model cost: two resolve passes (one µ(µ) gather per slot each) plus
+    // the survivors' scattered iA stamps and gathered ψ/CSR metadata.
+    dev.charge_work(2 * len + 3 * total);
+    ++stats.frontier_builds;
+
+    len = total;
+    stats.active_peak =
+        std::max(stats.active_peak, static_cast<index_t>(len));
+    if (len == 0) {
+      stats.push_ms += timer.elapsed_ms();
+      if (observer) observer->on_loop_end(loop, st);
+      if (++loop > max_loops) loop_bound_exceeded();
+      break;
+    }
+
+    // Degree prefix sum for the edge-balanced partition (device scan).
+    const std::vector<std::int64_t> offsets =
+        device::balanced_offsets(dev, f_degree);
+    dev.charge_work(2 * len);  // the scan's two passes over the degrees
+
+    cols.swap(f_cols);  // frontier becomes this loop's pusher buffer
+    displaced.assign(static_cast<std::size_t>(len), kUnmatched);
+
+    // --- edge-balanced push (PUSHKRNL over the dense frontier) ----------
+    dev.launch_balanced(offsets, [&](std::int64_t i) -> std::int64_t {
+      const auto iz = static_cast<std::size_t>(i);
+      const index_t v = cols[iz];
+      const index_t psi_v = f_psi[iz];
+      const MinScan r = scan_min_row(col_adj + f_adj_begin[iz], f_degree[iz],
+                                     st, psi_v, psi_inf);
+      std::int64_t work = r.scanned;
+      if (r.psi_min < psi_inf) {
+        // Capture the displaced column *before* overwriting µ(u)
+        // (DESIGN.md D4); w == −1 encodes a single push.
+        const index_t w = st.mu_row.load(static_cast<std::size_t>(r.u_min));
+        ++work;  // µ(u) gather
+        if (w == kUnmatched ||
+            i_a.load(static_cast<std::size_t>(w)) != loop_stamp) {
+          if (w != kUnmatched) ++work;  // iA(µ(u)) gather
+          st.mu_row.store(static_cast<std::size_t>(r.u_min), v);
+          st.mu_col.store(static_cast<std::size_t>(v), r.u_min);
+          st.psi_col.store(static_cast<std::size_t>(v), r.psi_min + 1);
+          st.psi_row.store(static_cast<std::size_t>(r.u_min), r.psi_min + 2);
+          st.mu_dirty.raise();
+          displaced[iz] = w;
+          work += 2;  // scattered µ(u), ψ(u) writes
+        }
+        // else: µ(u)'s holder is active this loop — pushing would let one
+        // column enter the frontier twice.  The pusher stays active, so
+        // the next compaction rolls it back.
+      } else {
+        st.mu_col.store(static_cast<std::size_t>(v), kUnmatchable);
+        // The pusher goes inactive with no displaced column: the slot
+        // dies at the next resolve.
+      }
+      return work;
+    });
+    stats.push_ms += timer.elapsed_ms();
+    if (observer) observer->on_loop_end(loop, st);
+    if (++loop > max_loops) loop_bound_exceeded();
+  }
+  stats.loops = loop;
+}
+
 }  // namespace
 
 GprResult g_pr(device::Device& dev, const BipartiteGraph& g,
@@ -373,14 +552,21 @@ GprResult g_pr(device::Device& dev, const BipartiteGraph& g,
   st.mu_row.assign_from(init.row_match);
   st.mu_col.assign_from(init.col_match);
 
-  switch (options.variant) {
-    case GprVariant::kFirst:
-      run_first(dev, g, st, options, stats, observer);
-      break;
-    case GprVariant::kNoShrink:
-    case GprVariant::kShrink:
-      run_active_list(dev, g, st, options, stats, observer);
-      break;
+  if (options.balance) {
+    // The workload-balanced schedule subsumes the variant distinction:
+    // every variant's push work runs over the compacted frontier.  The
+    // vertex-parallel drivers below stay byte-for-byte the reference.
+    run_balanced(dev, g, st, options, stats, observer);
+  } else {
+    switch (options.variant) {
+      case GprVariant::kFirst:
+        run_first(dev, g, st, options, stats, observer);
+        break;
+      case GprVariant::kNoShrink:
+      case GprVariant::kShrink:
+        run_active_list(dev, g, st, options, stats, observer);
+        break;
+    }
   }
 
   // FIXMATCHING: repair the benign column-side inconsistencies; row

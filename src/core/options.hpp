@@ -54,6 +54,18 @@ struct GprOptions {
   /// quantifies.
   bool initial_global_relabel = true;
 
+  /// Workload-balanced execution (Hsieh et al., arXiv:2404.00270): every
+  /// main-loop iteration compacts the active columns into a dense SoA
+  /// frontier (column ids, cached ψ, flat CSR slice starts, and a degree
+  /// prefix sum built with device::exclusive_scan) and runs the push
+  /// kernel through device::Device::launch_balanced, which partitions
+  /// *edges* rather than columns into equal chunks.  This removes the
+  /// straggler problem of the paper's one-thread-per-column grid on
+  /// degree-skewed graphs; the vertex-parallel path (false) remains the
+  /// faithful reference.  Registered as the `g-pr-wb` solver, and
+  /// sweepable on any G-PR solver via the `balance` option.
+  bool balance = false;
+
   /// The paper's Section V future work, implemented: run non-initial
   /// global relabels as a second stream overlapped with the push kernels
   /// (one shadow BFS level per main-loop iteration against a µ snapshot;
@@ -83,8 +95,8 @@ inline std::string to_string(RelabelStrategy s) {
 }
 
 inline std::string GprOptions::describe() const {
-  return to_string(variant) + " (" + to_string(strategy) + ", " +
-         std::to_string(k) + ")";
+  return to_string(variant) + (balance ? "+WB" : "") + " (" +
+         to_string(strategy) + ", " + std::to_string(k) + ")";
 }
 
 }  // namespace bpm::gpu

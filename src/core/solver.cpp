@@ -50,8 +50,10 @@ device::Device& required_device(const SolveContext& ctx,
 
 class GprSolver final : public Solver {
  public:
-  GprSolver(std::string name, gpu::GprVariant variant) : name_(std::move(name)) {
+  GprSolver(std::string name, gpu::GprVariant variant, bool balance = false)
+      : name_(std::move(name)) {
     options_.variant = variant;
+    options_.balance = balance;
   }
 
   [[nodiscard]] std::string name() const override { return name_; }
@@ -78,6 +80,8 @@ class GprSolver final : public Solver {
       options_.initial_global_relabel = parse_bool(key, value);
     } else if (key == "concurrent-gr") {
       options_.concurrent_global_relabel = parse_bool(key, value);
+    } else if (key == "balance") {
+      options_.balance = parse_bool(key, value);
     } else {
       return false;
     }
@@ -98,8 +102,9 @@ class GprSolver final : public Solver {
     out.stats.iterations = r.stats.loops;
     std::ostringstream d;
     d << options_.describe() << ": " << r.stats.global_relabels
-      << " global relabels, " << r.stats.shrinks << " shrinks, "
-      << r.stats.device_launches << " launches";
+      << " global relabels, " << r.stats.shrinks << " shrinks, ";
+    if (options_.balance) d << r.stats.frontier_builds << " frontier builds, ";
+    d << r.stats.device_launches << " launches";
     out.stats.detail = d.str();
     return out;
   }
@@ -417,6 +422,12 @@ SolverRegistry::SolverRegistry() {
   });
   add("g-pr-first", [] {
     return std::make_unique<GprSolver>("g-pr-first", gpu::GprVariant::kFirst);
+  });
+  add("g-pr-wb", [] {
+    // Workload-balanced G-PR: edge-balanced push over a per-loop compacted
+    // frontier (GprOptions::balance).
+    return std::make_unique<GprSolver>("g-pr-wb", gpu::GprVariant::kShrink,
+                                       /*balance=*/true);
   });
   add("g-hk", [] { return std::make_unique<GhkSolver>("g-hk", false); });
   add("g-hkdw", [] { return std::make_unique<GhkSolver>("g-hkdw", true); });

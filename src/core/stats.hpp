@@ -15,6 +15,7 @@ struct GprStats {
   std::int64_t async_discarded = 0;  ///< overlapped relabels invalidated by
                                      ///< pushes landing mid-flight
   std::int64_t shrinks = 0;          ///< G-PR-SHRKRNL invocations
+  std::int64_t frontier_builds = 0;  ///< balanced-path frontier compactions
   std::int64_t device_launches = 0;  ///< all kernel launches on the device
   graph::index_t last_max_level = 0; ///< maxLevel of the final global relabel
   graph::index_t active_peak = 0;    ///< longest active list observed

@@ -1,6 +1,36 @@
 #include "device/device.hpp"
 
+#include <stdexcept>
+
 namespace bpm::device {
+
+std::vector<std::int64_t> balanced_partition(
+    std::span<const std::int64_t> offsets, std::int64_t parts) {
+  if (offsets.empty() || offsets.front() != 0)
+    throw std::invalid_argument(
+        "balanced_partition: offsets must be an exclusive prefix sum "
+        "starting at 0 with the total appended");
+  if (parts < 1)
+    throw std::invalid_argument("balanced_partition: parts must be >= 1");
+  const auto n = static_cast<std::int64_t>(offsets.size()) - 1;
+  const std::int64_t total = offsets.back();
+  std::vector<std::int64_t> bounds(static_cast<std::size_t>(parts) + 1, 0);
+  bounds.back() = n;
+  for (std::int64_t p = 1; p < parts; ++p) {
+    // First item whose start offset reaches the ideal target — chunk p-1
+    // overshoots the ideal by at most the work of its final item.
+    const std::int64_t target = (total / parts) * p + (total % parts) * p / parts;
+    const auto it = std::lower_bound(offsets.begin(), offsets.end(), target);
+    bounds[static_cast<std::size_t>(p)] =
+        std::min<std::int64_t>(it - offsets.begin(), n);
+  }
+  // Monotonicity is guaranteed by monotone targets over a monotone prefix
+  // sum, but clamp against the tail so degenerate (all-zero) inputs keep
+  // every boundary in range.
+  for (std::size_t p = 1; p < bounds.size(); ++p)
+    bounds[p] = std::max(bounds[p], bounds[p - 1]);
+  return bounds;
+}
 
 Engine::Engine(ExecMode mode, unsigned num_threads) : mode_(mode) {
   if (mode_ == ExecMode::kConcurrent)

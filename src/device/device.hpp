@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -40,13 +41,29 @@ enum class ExecMode {
 /// Sanity anchors against Table I: a hugetrace-scale global relabel
 /// (≈3000 levels × (7 µs + 4.6 M rows · 0.2 ns)) models to ≈2.8 s vs the
 /// paper's 2.71 s; delaunay_n20 models to ≈60 ms vs the paper's 0.06 s.
-/// The model captures the two effects that decide every shape in the
-/// evaluation — launch-latency domination on high-diameter graphs and
-/// bandwidth-bound bulk work on wide ones — and nothing else.
+///
+/// Accounted launches additionally model the *straggler critical path*:
+/// logical threads are charged as if mapped onto `lanes` physical lanes
+/// (448 = the C2050's CUDA cores) in contiguous item chunks, and the
+/// work term is the slower of device-wide throughput and the busiest
+/// lane, `max(work, lanes · max_lane_work) · ns_per_work`.  This is what
+/// makes degree skew visible in modeled time: one high-degree column in a
+/// one-thread-per-column push kernel serializes its lane exactly as it
+/// serializes a CUDA core, the straggler problem Hsieh et al.
+/// (arXiv:2404.00270) attack with edge-balanced work partitioning
+/// (`Device::launch_balanced`, whose lanes are edge-balanced and
+/// therefore skew-free up to one item).  `lanes = 0` disables the
+/// straggler term and reverts to pure-throughput accounting.
+///
+/// The model therefore captures the three effects that decide every shape
+/// in the evaluation — launch-latency domination on high-diameter graphs,
+/// bandwidth-bound bulk work on wide ones, and straggler serialization on
+/// degree-skewed ones — and nothing else.
 struct DeviceModel {
   double launch_latency_us = 7.0;
   double ns_per_item = 0.2;  ///< per logical thread (device-wide effective)
   double ns_per_work = 0.6;  ///< per adjacency entry (device-wide effective)
+  int lanes = 448;  ///< physical lanes of the straggler model (0 = off)
 };
 
 struct DeviceOptions {
@@ -65,6 +82,26 @@ struct DeviceOptions {
 struct alignas(64) PaddedCount {
   std::int64_t value = 0;
 };
+
+/// Per-chunk (model lane, work) tallies of one accounted launch, padded to
+/// a cache line for the same reason as `PaddedCount`: each worker appends
+/// to its own slot concurrently, and adjacent `std::vector` headers would
+/// otherwise share lines while their size/pointer fields are mutated.
+struct alignas(64) PaddedLaneTally {
+  std::vector<std::pair<std::int64_t, std::int64_t>> entries;
+};
+
+/// Item boundaries of an edge-balanced partition: splits the `n` items
+/// whose exclusive work prefix sum is `offsets` (size n+1, `offsets[0] ==
+/// 0`, grand total at the back) into `parts` contiguous chunks of
+/// near-equal *work*, each boundary located by binary search at the ideal
+/// target `total·p/parts`.  Returns `parts + 1` item indices starting at 0
+/// and ending at n; every item falls in exactly one chunk and every
+/// chunk's work is within one maximum item work of the ideal
+/// `total/parts`.  Throws `std::invalid_argument` on an empty or
+/// non-exclusive-prefix `offsets` span or `parts < 1`.
+[[nodiscard]] std::vector<std::int64_t> balanced_partition(
+    std::span<const std::int64_t> offsets, std::int64_t parts);
 
 /// Lifetime aggregates of one engine: how many streams it has served and
 /// the launch/model totals those streams retired into it.  This is the
@@ -212,7 +249,13 @@ class Device {
   }
 
   /// Like `launch`, but the kernel returns its work units (e.g. adjacency
-  /// entries scanned), which feed the device time model.
+  /// entries scanned), which feed the device time model.  The model maps
+  /// logical threads onto `DeviceModel::lanes` lanes in contiguous
+  /// equal-*item* chunks — one thread per item, the paper's
+  /// column-parallel grid — so a skewed work distribution is charged its
+  /// straggler lane (see DeviceModel).  The lane tally is a deterministic
+  /// function of the kernel's per-item work, identical in both execution
+  /// modes and at any worker count.
   template <typename Kernel>
   void launch_accounted(std::int64_t n, Kernel&& kernel) {
     ++launches_;
@@ -220,24 +263,62 @@ class Device {
       account(n, 0);
       return;
     }
-    if (mode() == ExecMode::kSequential || num_workers() == 1) {
-      std::int64_t work = 0;
-      for (std::int64_t i = 0; i < n; ++i) work += kernel(i);
-      account(n, work);
+    if (worker_parts(n) == 1) {
+      // Allocation-free path for the sequential/1-worker case: items
+      // stream in lane order (the equal-item lane layout is arithmetic),
+      // so total and busiest-lane work are two scalars.  Matters because
+      // launch-latency-dominated runs issue thousands of tiny launches.
+      const std::int64_t lanes = lane_parts(n);
+      const std::int64_t per = n / lanes;
+      const std::int64_t extra = n % lanes;
+      std::int64_t work = 0, max_lane = 0, i = 0;
+      for (std::int64_t lane = 0; lane < lanes; ++lane) {
+        std::int64_t sum = 0;
+        const std::int64_t size = per + (lane < extra ? 1 : 0);
+        for (std::int64_t e = 0; e < size; ++e) sum += kernel(i++);
+        work += sum;
+        max_lane = std::max(max_lane, sum);
+      }
+      account(n, critical_work(work, max_lane));
       return;
     }
-    const auto workers = static_cast<std::int64_t>(num_workers());
-    std::vector<PaddedCount> per_worker(num_workers());
-    const std::function<void(unsigned)> job = [&](unsigned w) {
-      const auto [begin, end] = chunk(n, workers, w);
-      std::int64_t work = 0;
-      for (std::int64_t i = begin; i < end; ++i) work += kernel(i);
-      per_worker[w].value = work;
-    };
-    engine_->pool()->run_tasks(num_workers(), job);
-    std::int64_t work = 0;
-    for (const PaddedCount& w : per_worker) work += w.value;
-    account(n, work);
+    const auto [work, max_lane] =
+        run_lane_accounted(chunk_bounds(n, worker_parts(n)),
+                           chunk_bounds(n, lane_parts(n)), kernel);
+    account(n, critical_work(work, max_lane));
+  }
+
+  /// One kernel launch over the items of an edge-balanced plan (the
+  /// workload-balanced push of Hsieh et al., arXiv:2404.00270).
+  ///
+  /// `offsets` is the exclusive prefix sum of the per-item work estimates
+  /// (degrees) with the grand total appended — size n+1, `offsets[0] ==
+  /// 0`; build it with `device::balanced_offsets` (device/scan.hpp),
+  /// which runs the scan on this device.  Items are partitioned into
+  /// per-worker chunks of near-equal *work* rather than near-equal item
+  /// count, each boundary located by binary search in `offsets`
+  /// (`balanced_partition`), so one high-degree item can no longer
+  /// serialize a chunk that also holds an equal share of everything else.
+  /// `kernel(i)` runs once per item in [0, n) and returns its actual work
+  /// units, exactly like `launch_accounted`.
+  ///
+  /// Launch accounting models the balanced grid: the model lanes are
+  /// edge-balanced by the same partition, so the charged critical path is
+  /// skew-free up to one item's work — contrast `launch_accounted`, whose
+  /// contiguous-item lanes pay for degree skew in full.
+  template <typename Kernel>
+  void launch_balanced(std::span<const std::int64_t> offsets,
+                       Kernel&& kernel) {
+    ++launches_;
+    const auto n = static_cast<std::int64_t>(offsets.size()) - 1;
+    if (n <= 0) {
+      account(std::max<std::int64_t>(n, 0), 0);
+      return;
+    }
+    const auto [work, max_lane] =
+        run_lane_accounted(balanced_partition(offsets, worker_parts(n)),
+                           balanced_partition(offsets, lane_parts(n)), kernel);
+    account(n, critical_work(work, max_lane));
   }
 
   /// One kernel launch with the worker partition exposed:
@@ -266,6 +347,103 @@ class Device {
                         model_.ns_per_item +
                     static_cast<double>(work) * model_.ns_per_work) *
                        1e-3;
+  }
+
+  /// The work units to charge given the total and the busiest model lane:
+  /// the slower of device-wide throughput and the straggler critical path
+  /// (`lanes · max_lane_work`; see DeviceModel).
+  [[nodiscard]] std::int64_t critical_work(std::int64_t work,
+                                           std::int64_t max_lane) const {
+    if (model_.lanes <= 0) return work;
+    return std::max(work, max_lane * static_cast<std::int64_t>(model_.lanes));
+  }
+
+  /// Physical chunk count of an accounted launch: one per pool worker.
+  [[nodiscard]] std::int64_t worker_parts(std::int64_t n) const {
+    if (mode() == ExecMode::kSequential || num_workers() == 1) return 1;
+    return std::min<std::int64_t>(num_workers(), n);
+  }
+
+  /// Model lane count: `DeviceModel::lanes` capped at the grid size (a
+  /// grid smaller than the device leaves lanes idle), at least 1 so the
+  /// tally stays well-defined when the straggler model is off.
+  [[nodiscard]] std::int64_t lane_parts(std::int64_t n) const {
+    if (model_.lanes <= 0) return 1;
+    return std::min<std::int64_t>(model_.lanes, n);
+  }
+
+  /// Equal-item chunk boundaries — `parts + 1` indices partitioning
+  /// `[0, n)` with the same layout `chunk` produces.
+  static std::vector<std::int64_t> chunk_bounds(std::int64_t n,
+                                                std::int64_t parts) {
+    std::vector<std::int64_t> bounds(static_cast<std::size_t>(parts) + 1, 0);
+    const std::int64_t per = n / parts;
+    const std::int64_t extra = n % parts;
+    for (std::int64_t p = 0; p <= parts; ++p)
+      bounds[static_cast<std::size_t>(p)] = p * per + std::min(p, extra);
+    return bounds;
+  }
+
+  /// Runs `kernel(i)` for every item of every `[chunk_bounds[c],
+  /// chunk_bounds[c+1])` range — one run_tasks slot per chunk — while
+  /// tallying the kernel's returned work per model lane (`lane_bounds`,
+  /// also item boundaries).  Chunk and lane boundaries need not align; a
+  /// lane split across chunks is summed at the host-side merge after the
+  /// launch barrier.  Returns {total work, max lane work}.
+  template <typename Kernel>
+  std::pair<std::int64_t, std::int64_t> run_lane_accounted(
+      const std::vector<std::int64_t>& chunks,
+      const std::vector<std::int64_t>& lane_bounds, Kernel&& kernel) {
+    const auto num_chunks = static_cast<unsigned>(chunks.size() - 1);
+    if (num_chunks == 1) {
+      // Single chunk: stream lane by lane, no per-chunk partials needed.
+      std::int64_t work = 0, max_lane = 0;
+      for (std::size_t lane = 0; lane + 1 < lane_bounds.size(); ++lane) {
+        std::int64_t sum = 0;
+        for (std::int64_t i = lane_bounds[lane]; i < lane_bounds[lane + 1];
+             ++i)
+          sum += kernel(i);
+        work += sum;
+        max_lane = std::max(max_lane, sum);
+      }
+      return {work, max_lane};
+    }
+    std::vector<PaddedLaneTally> partials(num_chunks);
+    const auto run_chunk = [&](unsigned c) {
+      const std::int64_t begin = chunks[c];
+      const std::int64_t end = chunks[c + 1];
+      if (begin >= end) return;
+      // Lane holding `begin`: the last boundary <= begin (duplicates from
+      // empty lanes resolve to the one whose end exceeds begin).
+      std::size_t lane = static_cast<std::size_t>(
+          std::upper_bound(lane_bounds.begin(), lane_bounds.end(), begin) -
+          lane_bounds.begin() - 1);
+      std::int64_t lane_end = lane_bounds[lane + 1];
+      std::int64_t sum = 0;
+      for (std::int64_t i = begin; i < end; ++i) {
+        if (i >= lane_end) {
+          partials[c].entries.emplace_back(static_cast<std::int64_t>(lane),
+                                           sum);
+          sum = 0;
+          while (i >= lane_bounds[lane + 1]) ++lane;
+          lane_end = lane_bounds[lane + 1];
+        }
+        sum += kernel(i);
+      }
+      partials[c].entries.emplace_back(static_cast<std::int64_t>(lane), sum);
+    };
+    const std::function<void(unsigned)> job = run_chunk;
+    engine_->pool()->run_tasks(num_chunks, job);
+    std::vector<std::int64_t> lane_work(lane_bounds.size() - 1, 0);
+    for (const PaddedLaneTally& tally : partials)
+      for (const auto& [lane, sum] : tally.entries)
+        lane_work[static_cast<std::size_t>(lane)] += sum;
+    std::int64_t work = 0, max_lane = 0;
+    for (const std::int64_t w : lane_work) {
+      work += w;
+      max_lane = std::max(max_lane, w);
+    }
+    return {work, max_lane};
   }
 
   static std::pair<std::int64_t, std::int64_t> chunk(std::int64_t n,

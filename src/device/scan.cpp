@@ -39,6 +39,14 @@ std::int64_t exclusive_scan(Device& dev, std::span<const std::int64_t> in,
   return partial.back();
 }
 
+std::vector<std::int64_t> balanced_offsets(Device& dev,
+                                           std::span<const std::int64_t> work) {
+  std::vector<std::int64_t> out(work.size() + 1, 0);
+  out.back() = exclusive_scan(
+      dev, work, std::span<std::int64_t>(out.data(), work.size()));
+  return out;
+}
+
 std::int64_t reduce_sum(Device& dev, std::span<const std::int64_t> in) {
   const auto n = static_cast<std::int64_t>(in.size());
   if (n == 0) return 0;

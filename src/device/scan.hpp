@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "device/device.hpp"
 
@@ -17,5 +18,14 @@ std::int64_t exclusive_scan(Device& dev, std::span<const std::int64_t> in,
 
 /// Parallel sum reduction.
 std::int64_t reduce_sum(Device& dev, std::span<const std::int64_t> in);
+
+/// The offsets form `Device::launch_balanced` and `balanced_partition`
+/// consume: the exclusive prefix sum of the per-item work estimates
+/// (degrees) with the grand total appended — size `work.size() + 1`,
+/// `out[0] == 0`.  The scan itself runs on the device via
+/// `exclusive_scan`, mirroring the degree prefix sum an edge-balanced
+/// CUDA kernel builds before its binary-search partition.
+[[nodiscard]] std::vector<std::int64_t> balanced_offsets(
+    Device& dev, std::span<const std::int64_t> work);
 
 }  // namespace bpm::device

@@ -147,6 +147,44 @@ BipartiteGraph chung_lu(index_t num_rows, index_t num_cols, double avg_degree,
   return permute_vertices(g, seed ^ 0x9e3779b97f4a7c15ULL);
 }
 
+BipartiteGraph skewed_hubs(index_t num_rows, index_t num_cols,
+                           index_t num_hubs, double hub_fraction,
+                           double background_degree, std::uint64_t seed,
+                           bool scatter) {
+  require(num_rows > 0 && num_cols > 0, "skewed_hubs: empty side");
+  require(num_hubs >= 0 && num_hubs <= num_cols,
+          "skewed_hubs: more hubs than columns");
+  require(hub_fraction > 0.0 && hub_fraction <= 1.0,
+          "skewed_hubs: hub_fraction must be in (0, 1]");
+  require(background_degree >= 0.0, "skewed_hubs: negative degree");
+  Rng rng(seed);
+
+  const auto hub_degree = static_cast<offset_t>(
+      hub_fraction * static_cast<double>(num_rows));
+  const auto background = static_cast<offset_t>(
+      background_degree * static_cast<double>(num_cols));
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(
+      static_cast<offset_t>(num_hubs) * hub_degree + background));
+  // Hubs take the first column ids; with `scatter` the trailing
+  // permutation spreads them over the id space, otherwise they stay a
+  // contiguous crawl-ordered block.  Duplicate samples are deduplicated
+  // by the builder, so the realised hub degree lands slightly below the
+  // target.
+  for (index_t h = 0; h < num_hubs; ++h)
+    for (offset_t e = 0; e < hub_degree; ++e)
+      edges.push_back(
+          {static_cast<index_t>(rng.below(static_cast<std::uint64_t>(num_rows))),
+           h});
+  for (offset_t e = 0; e < background; ++e)
+    edges.push_back(
+        {static_cast<index_t>(rng.below(static_cast<std::uint64_t>(num_rows))),
+         static_cast<index_t>(rng.below(static_cast<std::uint64_t>(num_cols)))});
+  auto g = build_from_edges(num_rows, num_cols, edges);
+  if (!scatter) return g;
+  return permute_vertices(g, seed ^ 0xda3e39cb94b95bdbULL);
+}
+
 BipartiteGraph road_network(index_t nx, index_t ny, double keep_prob,
                             std::uint64_t seed) {
   require(nx > 0 && ny > 0, "road_network: empty lattice");

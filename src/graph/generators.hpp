@@ -48,6 +48,31 @@ namespace bpm::graph::gen {
                                       double avg_degree, double gamma,
                                       std::uint64_t seed);
 
+/// Few-hub skewed-degree graph: `num_hubs` *column* hubs, each adjacent
+/// to ~`hub_fraction · num_rows` random rows, over a sparse uniform
+/// background of ~`background_degree` edges per column.  This is the
+/// straggler instance for vertex-parallel push kernels — one logical
+/// thread per column makes a hub serialize its whole launch chunk, the
+/// problem edge-balanced work partitioning solves (Hsieh et al.,
+/// arXiv:2404.00270); Deveci et al. (arXiv:1303.1379) motivate the same
+/// shape with their degree-skewed instance suite.  Choosing
+/// `num_rows < num_cols` leaves a structural deficiency that keeps
+/// columns — hubs included — active and contended deep into a
+/// push-relabel run instead of retiring right after greedy init.
+///
+/// `scatter` controls where the hubs live in the id space: true randomly
+/// permutes vertex ids so degree is uncorrelated with index order (the
+/// collection-default the other generators use); false leaves the hubs as
+/// a contiguous low-id block — the crawl-ordered regime of real
+/// web/social matrices (eu-2005, in-2004), where a static equal-column
+/// partition hands one worker the whole hub block: exactly the straggler
+/// case edge-balanced partitioning fixes.
+[[nodiscard]] BipartiteGraph skewed_hubs(index_t num_rows, index_t num_cols,
+                                         index_t num_hubs, double hub_fraction,
+                                         double background_degree,
+                                         std::uint64_t seed,
+                                         bool scatter = true);
+
 /// Road-network analogue (roadNet-PA/TX/CA, italy_osm): the symmetric
 /// adjacency matrix of an nx x ny lattice where each lattice edge survives
 /// with probability `keep_prob`, plus a sprinkling of shortcut edges.

@@ -69,6 +69,15 @@ std::vector<NamedMatcher> all_matchers() {
                      return gpu::g_pr(dev, g, init, opt).matching;
                    }});
   }
+  out.push_back({"g_pr_wb", [](const auto& g, const auto& init) {
+                   // The workload-balanced frontier driver (GprOptions::
+                   // balance) must agree with every vertex-parallel path.
+                   Device dev({.mode = ExecMode::kConcurrent,
+                               .num_threads = 4});
+                   gpu::GprOptions opt;
+                   opt.balance = true;
+                   return gpu::g_pr(dev, g, init, opt).matching;
+                 }});
   out.push_back({"g_hk", [](const auto& g, const auto& init) {
                    Device dev({.mode = ExecMode::kConcurrent, .num_threads = 4});
                    return gpu::g_hk(dev, g, init, {.duff_wiberg = false})
@@ -142,6 +151,11 @@ INSTANTIATE_TEST_SUITE_P(
                   }},
         SweepCase{"copaper",
                   [](std::uint64_t s) { return gen::copaper(150, 30, 6.0, s); }},
+        SweepCase{"skewed_hubs",
+                  [](std::uint64_t s) {
+                    // Deficient (rows < cols) so hubs stay contended.
+                    return gen::skewed_hubs(170, 200, 4, 0.3, 2.5, s);
+                  }},
         SweepCase{"planted",
                   [](std::uint64_t s) {
                     return gen::planted_perfect(80, 1.0, s);

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <memory>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "device/device.hpp"
@@ -151,12 +154,16 @@ TEST(Device, StreamsShareOneEngineButKeepTheirOwnStats) {
   EXPECT_EQ(a.launches(), 2u);
   EXPECT_EQ(b.launches(), 1u);
   // Each stream models only its own launches: a has 2 latency + item
-  // terms and no work; b has 1 plus its 300 work units.
+  // terms and no work; b has 1 plus its work term.  100 threads on a
+  // 448-lane device leave lanes idle, so the straggler critical path
+  // (lanes · max lane work = 448 · 3) is what gets charged, not the 300
+  // total work units.
   const DeviceModel m;
   const double item_ms = 100 * m.ns_per_item * 1e-6;
   EXPECT_NEAR(a.modeled_ms(), 2 * (m.launch_latency_us / 1e3 + item_ms), 1e-9);
   EXPECT_NEAR(b.modeled_ms(),
-              m.launch_latency_us / 1e3 + item_ms + 300 * m.ns_per_work * 1e-6,
+              m.launch_latency_us / 1e3 + item_ms +
+                  static_cast<double>(m.lanes) * 3 * m.ns_per_work * 1e-6,
               1e-9);
 }
 
@@ -263,6 +270,182 @@ TEST(Mem, ConcurrentLastWriterWinsSettlesOnSomeWrittenValue) {
   const auto v = cell.load(0);
   EXPECT_GE(v, 0);
   EXPECT_LT(v, 64);
+}
+
+// ------------------------------------------------------- balanced launch ----
+
+// Deterministic pseudo-random degree sequence with a few planted hubs —
+// the skewed shape balanced partitioning exists for.
+std::vector<std::int64_t> skewed_degrees(std::size_t n, std::uint64_t seed) {
+  std::vector<std::int64_t> work(n);
+  std::uint64_t x = seed * 2654435761u + 1;
+  for (auto& w : work) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    w = static_cast<std::int64_t>(x % 7);
+    if (x % 97 == 0) w = 500 + static_cast<std::int64_t>(x % 400);  // hub
+  }
+  return work;
+}
+
+std::vector<std::int64_t> offsets_of(const std::vector<std::int64_t>& work) {
+  std::vector<std::int64_t> offsets(work.size() + 1, 0);
+  for (std::size_t i = 0; i < work.size(); ++i)
+    offsets[i + 1] = offsets[i] + work[i];
+  return offsets;
+}
+
+TEST(BalancedPartition, CoversEveryItemExactlyOnceAcrossShapes) {
+  for (const std::size_t n : {1u, 2u, 7u, 64u, 1000u, 4097u}) {
+    const auto offsets = offsets_of(skewed_degrees(n, n));
+    for (const std::int64_t parts : {1, 2, 3, 7, 16, 448}) {
+      const auto bounds = balanced_partition(offsets, parts);
+      ASSERT_EQ(bounds.size(), static_cast<std::size_t>(parts) + 1);
+      EXPECT_EQ(bounds.front(), 0);
+      EXPECT_EQ(bounds.back(), static_cast<std::int64_t>(n));
+      // Monotone boundaries partition [0, n): every item in exactly one
+      // chunk, which is the "every edge covered exactly once" property —
+      // chunks own disjoint, contiguous, exhaustive item (and hence CSR
+      // edge-range) sets.
+      for (std::size_t p = 1; p < bounds.size(); ++p)
+        EXPECT_LE(bounds[p - 1], bounds[p]) << "n=" << n << " parts=" << parts;
+    }
+  }
+}
+
+TEST(BalancedPartition, ChunkWorkWithinOneMaxDegreeOfIdeal) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto work = skewed_degrees(3000, seed);
+    const auto offsets = offsets_of(work);
+    const std::int64_t max_degree =
+        *std::max_element(work.begin(), work.end());
+    for (const std::int64_t parts : {2, 8, 64, 448}) {
+      const auto bounds = balanced_partition(offsets, parts);
+      const std::int64_t ideal = offsets.back() / parts;
+      for (std::int64_t p = 0; p < parts; ++p) {
+        const std::int64_t chunk_work =
+            offsets[static_cast<std::size_t>(bounds[p + 1])] -
+            offsets[static_cast<std::size_t>(bounds[p])];
+        EXPECT_LE(chunk_work, ideal + max_degree + 1)
+            << "seed=" << seed << " parts=" << parts << " chunk=" << p;
+      }
+    }
+  }
+}
+
+TEST(BalancedPartition, DegenerateInputs) {
+  // All-zero work: any boundaries partitioning [0, n) are acceptable.
+  const std::vector<std::int64_t> zeros(5, 0);
+  const auto bounds = balanced_partition(offsets_of(zeros), 3);
+  EXPECT_EQ(bounds.front(), 0);
+  EXPECT_EQ(bounds.back(), 5);
+  for (std::size_t p = 1; p < bounds.size(); ++p)
+    EXPECT_LE(bounds[p - 1], bounds[p]);
+  // Contract violations throw.
+  EXPECT_THROW(balanced_partition({}, 2), std::invalid_argument);
+  const std::vector<std::int64_t> not_prefix{3, 5};
+  EXPECT_THROW(balanced_partition(not_prefix, 2), std::invalid_argument);
+  const std::vector<std::int64_t> ok{0, 3};
+  EXPECT_THROW(balanced_partition(ok, 0), std::invalid_argument);
+}
+
+class BalancedLaunchModes : public ::testing::TestWithParam<ExecMode> {};
+
+TEST_P(BalancedLaunchModes, RunsEveryItemExactlyOnce) {
+  Device dev({.mode = GetParam(), .num_threads = 4});
+  for (const std::size_t n : {1u, 3u, 57u, 1000u}) {
+    const auto offsets = offsets_of(skewed_degrees(n, 11));
+    std::vector<std::atomic<int>> hits(n);
+    dev.launch_balanced(offsets, [&](std::int64_t i) -> std::int64_t {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+      return 1;
+    });
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1) << "n=" << n;
+  }
+}
+
+TEST_P(BalancedLaunchModes, EmptyAndZeroWorkGrids) {
+  Device dev({.mode = GetParam(), .num_threads = 4});
+  const std::vector<std::int64_t> empty{0};
+  dev.launch_balanced(empty, [](std::int64_t) -> std::int64_t { return 1; });
+  EXPECT_EQ(dev.launches(), 1u);  // empty grids still count as a launch
+  // All-zero work estimates: every item still runs exactly once.
+  const std::vector<std::int64_t> zeros(8, 0);
+  std::vector<std::atomic<int>> hits(7);
+  dev.launch_balanced(zeros, [&](std::int64_t i) -> std::int64_t {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+    return 0;
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, BalancedLaunchModes,
+                         ::testing::Values(ExecMode::kSequential,
+                                           ExecMode::kConcurrent),
+                         [](const auto& param_info) {
+                           return param_info.param == ExecMode::kSequential
+                                      ? "Sequential"
+                                      : "Concurrent";
+                         });
+
+TEST(BalancedLaunch, ModelsBalancedGridBelowVertexParallelOnSkew) {
+  // The same skewed work on the same engine: the edge-balanced launch
+  // must model a shorter critical path than the contiguous-item grid,
+  // and both must model identically across execution modes.  The shape is
+  // a crawl-ordered hub block — many medium-degree items clustered in id
+  // space, each well below the per-lane ideal — which is the regime
+  // item-aligned edge balancing can improve (one item whose work exceeds
+  // the ideal chunk bounds both schedules equally).
+  std::vector<std::int64_t> work(4480, 1);
+  for (std::size_t i = 0; i < 448; ++i) work[i] = 100;  // the hub block
+  const auto offsets = offsets_of(work);
+  auto modeled = [&](bool balanced, ExecMode mode) {
+    Device dev({.mode = mode, .num_threads = 4});
+    const auto kernel = [&](std::int64_t i) -> std::int64_t {
+      return work[static_cast<std::size_t>(i)];
+    };
+    if (balanced)
+      dev.launch_balanced(offsets, kernel);
+    else
+      dev.launch_accounted(static_cast<std::int64_t>(work.size()), kernel);
+    return dev.modeled_ms();
+  };
+  const double vertex = modeled(false, ExecMode::kConcurrent);
+  const double balanced = modeled(true, ExecMode::kConcurrent);
+  EXPECT_LT(balanced, vertex);
+  EXPECT_DOUBLE_EQ(vertex, modeled(false, ExecMode::kSequential));
+  EXPECT_DOUBLE_EQ(balanced, modeled(true, ExecMode::kSequential));
+}
+
+TEST(BalancedLaunch, ConcurrentStreamsStressAllCovered) {
+  // TSan stress for the balanced launch and its padded per-chunk lane
+  // tallies: several streams on one engine, each running balanced
+  // launches over skewed work from its own host thread.
+  const auto engine = std::make_shared<Engine>(ExecMode::kConcurrent, 4);
+  constexpr int kStreams = 4, kLaunches = 20;
+  constexpr std::size_t kGrid = 700;
+  std::vector<std::thread> threads;
+  std::vector<std::int64_t> covered(kStreams, 0);
+  for (int s = 0; s < kStreams; ++s)
+    threads.emplace_back([&, s] {
+      Device stream(engine);
+      const auto offsets =
+          offsets_of(skewed_degrees(kGrid, static_cast<std::uint64_t>(s)));
+      std::vector<std::atomic<int>> hits(kGrid);
+      for (int l = 0; l < kLaunches; ++l) {
+        for (auto& h : hits) h.store(0);
+        stream.launch_balanced(offsets, [&](std::int64_t i) -> std::int64_t {
+          hits[static_cast<std::size_t>(i)].fetch_add(1);
+          return 1;
+        });
+        for (auto& h : hits) covered[static_cast<std::size_t>(s)] += h.load();
+      }
+    });
+  for (auto& t : threads) t.join();
+  for (int s = 0; s < kStreams; ++s)
+    EXPECT_EQ(covered[static_cast<std::size_t>(s)],
+              static_cast<std::int64_t>(kLaunches * kGrid));
 }
 
 // ------------------------------------------------------------------ scan ----

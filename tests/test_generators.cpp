@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <functional>
+#include <vector>
 
 #include "graph/generators.hpp"
 #include "graph/instances.hpp"
@@ -69,6 +72,51 @@ TEST(Generators, ChungLuProducesSkewedDegrees) {
   // Power-law: hubs far above the mean, and isolated vertices exist.
   EXPECT_GT(max_deg, 40);
   EXPECT_GT(isolated, 0);
+}
+
+TEST(Generators, SkewedHubsIsDeterministicPerSeed) {
+  const BipartiteGraph a = skewed_hubs(900, 1000, 6, 0.3, 3.0, 7);
+  const BipartiteGraph b = skewed_hubs(900, 1000, 6, 0.3, 3.0, 7);
+  EXPECT_EQ(a.num_rows(), 900);
+  EXPECT_EQ(a.num_cols(), 1000);
+  EXPECT_EQ(a.row_adj(), b.row_adj());
+  EXPECT_EQ(a.col_adj(), b.col_adj());
+  const BipartiteGraph c = skewed_hubs(900, 1000, 6, 0.3, 3.0, 8);
+  EXPECT_NE(a.row_adj(), c.row_adj());
+  a.validate();
+}
+
+TEST(Generators, SkewedHubsDegreeDistribution) {
+  constexpr index_t kRows = 1500, kCols = 1600, kHubs = 8;
+  constexpr double kHubFraction = 0.25, kBackground = 3.0;
+  const BipartiteGraph g =
+      skewed_hubs(kRows, kCols, kHubs, kHubFraction, kBackground, 11);
+  std::vector<index_t> degrees(static_cast<std::size_t>(g.num_cols()));
+  for (index_t v = 0; v < g.num_cols(); ++v)
+    degrees[static_cast<std::size_t>(v)] = g.col_degree(v);
+  std::sort(degrees.begin(), degrees.end(), std::greater<>());
+  // Exactly the hubs sit far above everything else: the top kHubs degrees
+  // are near the hub target (duplicates shave a little off), while the
+  // rest of the columns stay at background scale.
+  const auto target = static_cast<index_t>(kHubFraction * kRows);
+  for (index_t h = 0; h < kHubs; ++h) {
+    EXPECT_GT(degrees[static_cast<std::size_t>(h)], target / 2) << "hub " << h;
+    EXPECT_LE(degrees[static_cast<std::size_t>(h)], target) << "hub " << h;
+  }
+  EXPECT_LT(degrees[kHubs], 30);  // background columns: ~3 + hub spill
+  // Hubs are scattered by the id permutation, not parked at low ids.
+  index_t low_id_hubs = 0;
+  for (index_t v = 0; v < kHubs; ++v)
+    if (g.col_degree(v) > target / 2) ++low_id_hubs;
+  EXPECT_LT(low_id_hubs, kHubs);
+}
+
+TEST(Generators, SkewedHubsRejectsBadParameters) {
+  EXPECT_THROW(skewed_hubs(0, 10, 1, 0.5, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(skewed_hubs(10, 10, 11, 0.5, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(skewed_hubs(10, 10, 1, 0.0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(skewed_hubs(10, 10, 1, 1.5, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(skewed_hubs(10, 10, 1, 0.5, -1.0, 1), std::invalid_argument);
 }
 
 TEST(Generators, RoadNetworkIsSymmetricAndSparse) {

@@ -37,6 +37,12 @@ index_t cardinality_of(const std::string& algo, const BipartiteGraph& g) {
     Device dev({.mode = ExecMode::kConcurrent, .num_threads = 4});
     return gpu::g_pr(dev, g, init).matching.cardinality();
   }
+  if (algo == "g_pr_wb") {
+    Device dev({.mode = ExecMode::kConcurrent, .num_threads = 4});
+    gpu::GprOptions opt;
+    opt.balance = true;
+    return gpu::g_pr(dev, g, init, opt).matching.cardinality();
+  }
   if (algo == "g_hkdw") {
     Device dev({.mode = ExecMode::kConcurrent, .num_threads = 4});
     return gpu::g_hk(dev, g, init).matching.cardinality();
@@ -53,6 +59,7 @@ TEST_P(PermutationInvariance, CardinalityStableUnderRelabeling) {
       gen::chung_lu(150, 150, 3.0, 2.4, 5),
       gen::rmat(7, 4.0, 7),
       gen::trace_mesh(50, 3, 0.05, 9),
+      gen::skewed_hubs(120, 140, 3, 0.3, 2.5, 13),
   };
   for (std::size_t b = 0; b < bases.size(); ++b) {
     const index_t base_card = cardinality_of(GetParam(), bases[b]);
@@ -67,7 +74,8 @@ TEST_P(PermutationInvariance, CardinalityStableUnderRelabeling) {
 
 INSTANTIATE_TEST_SUITE_P(Algorithms, PermutationInvariance,
                          ::testing::Values("seq_pr", "hk", "pf", "hkdw",
-                                           "pdbfs", "g_pr", "g_hkdw"),
+                                           "pdbfs", "g_pr", "g_pr_wb",
+                                           "g_hkdw"),
                          [](const auto& param_info) {
                            return std::string(param_info.param);
                          });

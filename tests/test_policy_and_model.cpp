@@ -80,6 +80,43 @@ TEST(DeviceModel, ChargesAccountedWork) {
   device::Device dev({.mode = device::ExecMode::kSequential});
   dev.launch_accounted(10, [](std::int64_t) -> std::int64_t { return 100; });
   const device::DeviceModel m;
+  // A 10-thread grid cannot saturate the 448-lane device: each item is
+  // its own lane, and the critical path (lanes · max lane work = 448 ·
+  // 100) dominates the 1000 total work units.
+  const double want_ms =
+      (m.launch_latency_us +
+       (10 * m.ns_per_item + 448.0 * 100 * m.ns_per_work) * 1e-3) /
+      1e3;
+  EXPECT_NEAR(dev.modeled_ms(), want_ms, want_ms * 1e-9);
+}
+
+TEST(DeviceModel, StragglerLaneDominatesSkewedWork) {
+  // One hub item with the whole graph's work among uniform items: the
+  // contiguous-item lane holding the hub bounds the launch from below —
+  // exactly the serialization a one-thread-per-column push kernel
+  // suffers on a degree-skewed graph.
+  device::Device dev({.mode = device::ExecMode::kSequential});
+  const std::int64_t n = 8960;  // 20 items per model lane
+  dev.launch_accounted(n, [](std::int64_t i) -> std::int64_t {
+    return i == 0 ? 100000 : 1;
+  });
+  const device::DeviceModel m;
+  // Lane 0 holds the hub plus 19 unit items: critical = 448 * 100019.
+  const double want_ms =
+      (m.launch_latency_us +
+       (static_cast<double>(n) * m.ns_per_item +
+        448.0 * 100019 * m.ns_per_work) *
+           1e-3) /
+      1e3;
+  EXPECT_NEAR(dev.modeled_ms(), want_ms, want_ms * 1e-9);
+}
+
+TEST(DeviceModel, LanesZeroDisablesStragglerTerm) {
+  device::DeviceOptions opt{.mode = device::ExecMode::kSequential};
+  opt.model.lanes = 0;
+  device::Device dev(opt);
+  dev.launch_accounted(10, [](std::int64_t) -> std::int64_t { return 100; });
+  const device::DeviceModel m;
   const double want_ms =
       (m.launch_latency_us + (10 * m.ns_per_item + 1000 * m.ns_per_work) * 1e-3) /
       1e3;
