@@ -33,8 +33,9 @@ int main(int argc, char** argv) {
   print_header("Ablation — concurrent global relabeling (paper §V)", opt,
                suite.size());
 
-  device::Device dev(
-      {.mode = device::ExecMode::kConcurrent, .num_threads = opt.threads});
+  device::Device dev({.backend = opt.backend,
+                      .mode = device::ExecMode::kConcurrent,
+                      .num_threads = opt.threads});
   const double launch_us = device::DeviceModel{}.launch_latency_us;
 
   bool all_ok = true;

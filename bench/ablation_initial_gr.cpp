@@ -25,8 +25,9 @@ int main(int argc, char** argv) {
   const auto suite = build_suite(opt);
   print_header("Ablation — initial global relabel", opt, suite.size());
 
-  device::Device dev(
-      {.mode = device::ExecMode::kConcurrent, .num_threads = opt.threads});
+  device::Device dev({.backend = opt.backend,
+                      .mode = device::ExecMode::kConcurrent,
+                      .num_threads = opt.threads});
 
   bool all_ok = true;
   std::map<std::string, std::vector<double>> with_gr, without_gr;

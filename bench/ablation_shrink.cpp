@@ -27,8 +27,9 @@ int main(int argc, char** argv) {
   const auto suite = build_suite(opt);
   print_header("Ablation — active-list shrink threshold", opt, suite.size());
 
-  device::Device dev(
-      {.mode = device::ExecMode::kConcurrent, .num_threads = opt.threads});
+  device::Device dev({.backend = opt.backend,
+                      .mode = device::ExecMode::kConcurrent,
+                      .num_threads = opt.threads});
 
   struct Config {
     std::string label;

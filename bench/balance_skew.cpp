@@ -139,8 +139,9 @@ int main(int argc, char** argv) {
             << opt.seed << ", reps " << reps << "; baseline: "
             << opt.algos.front().canonical() << '\n';
 
-  device::Device dev(
-      {.mode = device::ExecMode::kConcurrent, .num_threads = opt.threads});
+  device::Device dev({.backend = opt.backend,
+                      .mode = device::ExecMode::kConcurrent,
+                      .num_threads = opt.threads});
   std::vector<std::unique_ptr<Solver>> solvers;
   for (const auto& spec : opt.algos) solvers.push_back(spec.instantiate());
 
@@ -189,7 +190,8 @@ int main(int argc, char** argv) {
       series[group_of(inst.suite)][a].wall.push_back(best.seconds);
       series[group_of(inst.suite)][a].modeled.push_back(best.modeled_seconds);
       records.push_back(to_json_record(inst.name, inst.suite,
-                                       opt.algos[a].canonical(), best));
+                                       opt.algos[a].canonical(), best,
+                                       opt.backend));
     }
     for (std::size_t a = 1; a < solvers.size(); ++a)
       row.emplace_back(wall[0] / wall[a]);

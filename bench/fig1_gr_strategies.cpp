@@ -50,8 +50,9 @@ int main(int argc, char** argv) {
   print_header("Figure 1 — global-relabeling strategy comparison", opt,
                suite.size());
 
-  device::Device dev(
-      {.mode = device::ExecMode::kConcurrent, .num_threads = opt.threads});
+  device::Device dev({.backend = opt.backend,
+                      .mode = device::ExecMode::kConcurrent,
+                      .num_threads = opt.threads});
 
   bool all_ok = true;
   std::vector<std::string> headers{"variant"};

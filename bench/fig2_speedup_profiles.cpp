@@ -31,8 +31,9 @@ int main(int argc, char** argv) {
   print_header("Figure 2 — speedup profiles vs sequential PR", opt,
                suite.size());
 
-  device::Device dev(
-      {.mode = device::ExecMode::kConcurrent, .num_threads = opt.threads});
+  device::Device dev({.backend = opt.backend,
+                      .mode = device::ExecMode::kConcurrent,
+                      .num_threads = opt.threads});
   const auto baseline = SolverRegistry::instance().create("seq-pr");
   std::vector<std::unique_ptr<Solver>> solvers;
   for (const auto& spec : opt.algos) solvers.push_back(spec.instantiate());
@@ -44,7 +45,8 @@ int main(int argc, char** argv) {
     const AlgoResult pr = run_solver(*baseline, dev, bi, opt.threads);
     all_ok &= pr.ok;
     records.push_back(
-        to_json_record(bi.meta.name, to_string(bi.meta.cls), "seq-pr", pr));
+        to_json_record(bi.meta.name, to_string(bi.meta.cls), "seq-pr", pr,
+                       opt.backend));
     if (opt.verbose)
       std::cout << "  " << bi.meta.name << ": PR=" << pr.seconds << "s";
     for (std::size_t i = 0; i < solvers.size(); ++i) {
@@ -52,7 +54,8 @@ int main(int argc, char** argv) {
       all_ok &= r.ok;
       speedups[i].push_back(pr.seconds / device_seconds(r, opt));
       records.push_back(to_json_record(bi.meta.name, to_string(bi.meta.cls),
-                                       opt.algos[i].canonical(), r));
+                                       opt.algos[i].canonical(), r,
+                                       opt.backend));
       if (opt.verbose)
         std::cout << "  " << opt.algos[i].canonical() << " x"
                   << speedups[i].back();

@@ -30,8 +30,9 @@ int main(int argc, char** argv) {
   print_header("Figure 3 — performance profiles of the selected solvers",
                opt, suite.size());
 
-  device::Device dev(
-      {.mode = device::ExecMode::kConcurrent, .num_threads = opt.threads});
+  device::Device dev({.backend = opt.backend,
+                      .mode = device::ExecMode::kConcurrent,
+                      .num_threads = opt.threads});
   std::vector<std::unique_ptr<Solver>> solvers;
   std::vector<std::string> names;
   for (const auto& spec : opt.algos) {
@@ -49,7 +50,8 @@ int main(int argc, char** argv) {
       const AlgoResult r = run_solver(*solvers[i], dev, bi, opt.threads);
       all_ok &= r.ok;
       records.push_back(
-          to_json_record(bi.meta.name, to_string(bi.meta.cls), names[i], r));
+          to_json_record(bi.meta.name, to_string(bi.meta.cls), names[i], r,
+                         opt.backend));
       const double t = device_seconds(r, opt);
       times[i].push_back(t);
       if (i == 0) first = t;

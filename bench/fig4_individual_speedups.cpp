@@ -27,8 +27,9 @@ int main(int argc, char** argv) {
   print_header("Figure 4 — individual G-PR speedups vs sequential PR", opt,
                suite.size());
 
-  device::Device dev(
-      {.mode = device::ExecMode::kConcurrent, .num_threads = opt.threads});
+  device::Device dev({.backend = opt.backend,
+                      .mode = device::ExecMode::kConcurrent,
+                      .num_threads = opt.threads});
 
   bool all_ok = true;
   Table table({"id", "graph", "class", "PR (s)", "G-PR (s)", "speedup",

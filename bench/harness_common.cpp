@@ -22,6 +22,10 @@ void register_suite_flags(CliParser& cli, int default_stride,
   cli.add_option("stride", "use every stride-th instance of the 28",
                  std::to_string(default_stride));
   cli.add_option("threads", "worker threads (0 = hardware)", "0");
+  cli.add_option("backend",
+                 "device backend: sim (modeled C2050) or host (real "
+                 "multicore executor, measured wall time)",
+                 "sim");
   cli.add_option("jobs",
                  "concurrent jobs for suite building and pipeline grids, one "
                  "device stream each (0 = hardware, 1 = sequential)",
@@ -46,6 +50,8 @@ SuiteOptions suite_options_from_cli(const CliParser& cli) {
   opt.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   opt.stride = static_cast<int>(cli.get_int("stride"));
   opt.threads = static_cast<unsigned>(cli.get_int("threads"));
+  if (cli.has("backend"))
+    opt.backend = device::parse_backend(cli.get_string("backend"));
   opt.jobs = static_cast<unsigned>(cli.get_int("jobs"));
   opt.verbose = cli.get_flag("verbose");
   opt.csv = cli.get_flag("csv");
@@ -111,7 +117,8 @@ PipelineInstance to_pipeline_instance(const BuiltInstance& bi) {
 
 PipelineReport run_grid(const std::vector<BuiltInstance>& suite,
                         const SuiteOptions& opt) {
-  MatchingPipeline pipe({.device_threads = opt.threads,
+  MatchingPipeline pipe({.device_backend = opt.backend,
+                         .device_threads = opt.threads,
                          .solver_threads = opt.threads,
                          .max_concurrent_jobs = opt.jobs});
   for (const BuiltInstance& bi : suite)
@@ -186,9 +193,9 @@ std::string json_number(double v) {
 
 JsonRecord to_json_record(const std::string& instance,
                           const std::string& suite, const std::string& algo,
-                          const AlgoResult& r) {
-  return {instance, suite,       algo,        r.seconds, r.modeled_seconds,
-          r.launches, r.cardinality, r.ok};
+                          const AlgoResult& r, device::Backend backend) {
+  return {instance,   suite,         algo, r.seconds, r.modeled_seconds,
+          r.launches, r.cardinality, r.ok, std::string(device::backend_name(backend))};
 }
 
 void write_json(const std::string& path, const std::string& bench,
@@ -206,7 +213,8 @@ void write_json(const std::string& path, const std::string& bench,
         << json_escape(r.algo) << "\", \"wall_s\": " << json_number(r.wall_s)
         << ", \"modeled_s\": " << json_number(r.modeled_s)
         << ", \"launches\": " << r.launches << ", \"matched\": " << r.matched
-        << ", \"ok\": " << (r.ok ? "true" : "false") << "}"
+        << ", \"ok\": " << (r.ok ? "true" : "false") << ", \"backend\": \""
+        << json_escape(r.backend) << "\"}"
         << (i + 1 < records.size() ? "," : "") << '\n';
   }
   out << "  ],\n  \"summary\": {";
@@ -224,8 +232,11 @@ void print_header(const std::string& title, const SuiteOptions& opt,
             << "), scale " << opt.scale << " of Table I sizes, seed "
             << opt.seed << '\n'
             << "# hardware: " << std::thread::hardware_concurrency()
-            << " hardware threads; device = CPU-simulated bulk-synchronous"
-               " engine (see DESIGN.md)\n"
+            << " hardware threads; backend = "
+            << (opt.backend == device::Backend::kHost
+                    ? "host multicore executor (measured wall time)"
+                    : "CPU-simulated bulk-synchronous engine (see DESIGN.md)")
+            << '\n'
             << "# note: GPU algorithms report modeled C2050 device time by"
                " default (DESIGN.md D9); pass --no-model for raw simulator"
                " wall time.  CPU algorithms always report wall time.\n";

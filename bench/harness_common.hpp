@@ -19,6 +19,11 @@ struct SuiteOptions {
   std::uint64_t seed = 1;
   int stride = 1;             ///< take every stride-th instance
   unsigned threads = 0;       ///< device / multicore workers, 0 = hw
+  /// `--backend sim|host`: which `device::Backend` the harness's devices
+  /// and pipelines run on.  `sim` models the paper's C2050; `host`
+  /// executes kernels on real threads and reports measured wall time as
+  /// its native metric.
+  device::Backend backend = device::Backend::kSim;
   /// Concurrent jobs (`--jobs`, every harness): suite building and any
   /// `run_grid`/`MatchingPipeline` work schedule up to this many jobs at
   /// once, each on its own device stream (0 = hardware).  Defaults to 1 —
@@ -142,13 +147,16 @@ struct JsonRecord {
   std::int64_t launches = 0;
   graph::index_t matched = 0;
   bool ok = false;
+  /// Which `device::Backend` produced the measurement ("sim" | "host") —
+  /// per-backend perf-trajectory lines aggregate on this field.
+  std::string backend = "sim";
 };
 
 /// An `AlgoResult` as a record, labels supplied by the caller.
-[[nodiscard]] JsonRecord to_json_record(const std::string& instance,
-                                        const std::string& suite,
-                                        const std::string& algo,
-                                        const AlgoResult& r);
+[[nodiscard]] JsonRecord to_json_record(
+    const std::string& instance, const std::string& suite,
+    const std::string& algo, const AlgoResult& r,
+    device::Backend backend = device::Backend::kSim);
 
 /// Writes `{"bench": ..., "records": [...], "summary": {...}}` with a
 /// stable field order, records in input order, and summary metrics sorted

@@ -79,6 +79,7 @@ serve::ServiceOptions service_options(const SuiteOptions& opt,
                                       const PoolConfig& pool) {
   serve::ServiceOptions s;
   s.workers = workers;
+  s.backend = opt.backend;
   s.device_threads = opt.threads;
   s.solver_threads = opt.threads;
   s.queue_depth = queue_depth;
@@ -90,14 +91,20 @@ serve::ServiceOptions service_options(const SuiteOptions& opt,
 }
 
 void print_engine_stats(const serve::MatchingService& service) {
+  // Backend kind + native (wall) time per engine: in a mixed pool this
+  // is what makes a run attributable — a host engine's native_ms is
+  // measured wall clock, a sim engine's is its modeled device time.
   for (const serve::EngineGroupEngineStats& e :
        service.engine_group().stats())
-    std::cout << "  engine " << e.index << (e.retired ? " (retired)" : "")
+    std::cout << "  engine " << e.index << " ["
+              << e.descriptor.summary() << "]"
+              << (e.retired ? " (retired)" : "")
               << ": dispatches=" << e.dispatches
               << " work_dispatched=" << e.work_dispatched
               << " streams=" << e.device.streams_retired
               << " launches=" << e.device.launches
-              << " modeled_ms=" << e.device.modeled_ms << "\n";
+              << " modeled_ms=" << e.device.modeled_ms
+              << " native_ms=" << e.device.native_ms << "\n";
 }
 
 Mix register_suite(serve::MatchingService& service,
@@ -174,7 +181,7 @@ int main(int argc, char** argv) {
   cli.add_option("engines", "device engines behind the service", "1");
   cli.add_option("routing",
                  "engine routing policy (round-robin | least-loaded | "
-                 "affinity)",
+                 "affinity | backend-fit)",
                  "least-loaded");
   cli.add_flag("coalesce",
                "coalesce same-instance queued requests into one dispatch "

@@ -37,8 +37,9 @@ int main(int argc, char** argv) {
   const auto suite = build_suite(opt);
   print_header("Table I — per-graph solver runtimes", opt, suite.size());
 
-  device::Device dev(
-      {.mode = device::ExecMode::kConcurrent, .num_threads = opt.threads});
+  device::Device dev({.backend = opt.backend,
+                      .mode = device::ExecMode::kConcurrent,
+                      .num_threads = opt.threads});
   std::vector<std::unique_ptr<Solver>> solvers;
   for (const auto& spec : opt.algos) solvers.push_back(spec.instantiate());
 
@@ -64,7 +65,8 @@ int main(int argc, char** argv) {
       times[i].push_back(device_seconds(r, opt));
       row.push_back(times[i].back());
       records.push_back(to_json_record(bi.meta.name, to_string(bi.meta.cls),
-                                       opt.algos[i].canonical(), r));
+                                       opt.algos[i].canonical(), r,
+                                       opt.backend));
     }
     table.add_row(std::move(row));
   }

@@ -134,12 +134,14 @@ bool execute(serve::MatchingService& service, const std::string& line,
     }
     for (const serve::EngineGroupEngineStats& e :
          service.engine_group().stats())
-      std::cout << "engine " << e.index << (e.retired ? " retired" : "")
+      std::cout << "engine " << e.index << " backend="
+                << e.descriptor.summary() << (e.retired ? " retired" : "")
                 << " dispatches=" << e.dispatches << " load=" << e.load
                 << " streams_opened=" << e.device.streams_opened
                 << " streams_retired=" << e.device.streams_retired
                 << " launches=" << e.device.launches
-                << " modeled_ms=" << e.device.modeled_ms << "\n";
+                << " modeled_ms=" << e.device.modeled_ms
+                << " native_ms=" << e.device.native_ms << "\n";
     return true;
   }
   if (cmd == "load" || cmd == "gen") {
@@ -222,11 +224,15 @@ int main(int argc, char** argv) {
                  "2");
   cli.add_option("device-threads",
                  "per-engine pool workers (0 = hardware)", "0");
+  cli.add_option("backend",
+                 "engine backend: sim (modeled C2050) | host (real "
+                 "multicore executor)",
+                 "sim");
   cli.add_option("queue-depth", "admission queue bound", "256");
   cli.add_option("engines", "device engines behind the service", "1");
   cli.add_option("routing",
                  "engine routing policy (round-robin | least-loaded | "
-                 "affinity)",
+                 "affinity | backend-fit)",
                  "least-loaded");
   cli.add_flag("no-coalesce",
                "serve every request as its own dispatch instead of "
@@ -252,6 +258,7 @@ int main(int argc, char** argv) {
 
     serve::ServiceOptions opt;
     opt.workers = static_cast<unsigned>(cli.get_int("workers"));
+    opt.backend = device::parse_backend(cli.get_string("backend"));
     opt.device_threads = static_cast<unsigned>(cli.get_int("device-threads"));
     opt.queue_depth = static_cast<std::size_t>(cli.get_int("queue-depth"));
     opt.verify = !cli.get_flag("no-verify");

@@ -552,7 +552,32 @@ GprResult g_pr(device::Device& dev, const BipartiteGraph& g,
   st.mu_row.assign_from(init.row_match);
   st.mu_col.assign_from(init.col_match);
 
-  if (options.balance) {
+  bool balanced = options.balance == BalanceMode::kOn;
+  if (options.balance == BalanceMode::kAuto) {
+    // Degree skew (max/mean) of the initially *unmatched* columns — the
+    // columns the push kernels will actually iterate.  One O(n) host
+    // pass over the CSR row pointers; the frontier compaction this
+    // gates costs a scan + gather every main-loop iteration, so the
+    // probe pays for itself immediately.
+    const std::vector<graph::offset_t>& col_ptr = g.col_ptr();
+    std::int64_t active = 0, edges = 0, max_deg = 0;
+    for (index_t v = 0; v < g.num_cols(); ++v) {
+      if (init.col_match[static_cast<std::size_t>(v)] >= 0) continue;
+      const std::int64_t deg = col_ptr[static_cast<std::size_t>(v) + 1] -
+                               col_ptr[static_cast<std::size_t>(v)];
+      ++active;
+      edges += deg;
+      max_deg = std::max(max_deg, deg);
+    }
+    if (active > 0 && edges > 0) {
+      stats.balance_skew = static_cast<double>(max_deg) * active /
+                           static_cast<double>(edges);
+      balanced = stats.balance_skew >= options.balance_skew_threshold;
+    }
+  }
+  stats.balanced = balanced;
+
+  if (balanced) {
     // The workload-balanced schedule subsumes the variant distinction:
     // every variant's push work runs over the compacted frontier.  The
     // vertex-parallel drivers below stay byte-for-byte the reference.

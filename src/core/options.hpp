@@ -34,6 +34,21 @@ enum class RelabelStrategy {
   kAdaptive,
 };
 
+/// Whether a G-PR solve uses the workload-balanced (edge-partitioned)
+/// push path.
+enum class BalanceMode {
+  kOff,  ///< always the vertex-parallel active-list path
+  kOn,   ///< always the edge-balanced frontier path
+  /// Decide per solve from the measured degree skew (max/mean column
+  /// degree over the initially unmatched columns): balanced when the
+  /// skew reaches `GprOptions::balance_skew_threshold`, vertex-parallel
+  /// otherwise.  This keeps the balanced path's win on skewed instances
+  /// without paying its frontier-compaction overhead on uniform ones
+  /// (the ~1% uniform-suite regression recorded in
+  /// BENCH_gpr_balance.json).
+  kAuto,
+};
+
 struct GprOptions {
   GprVariant variant = GprVariant::kShrink;
   RelabelStrategy strategy = RelabelStrategy::kAdaptive;
@@ -61,10 +76,16 @@ struct GprOptions {
   /// kernel through device::Device::launch_balanced, which partitions
   /// *edges* rather than columns into equal chunks.  This removes the
   /// straggler problem of the paper's one-thread-per-column grid on
-  /// degree-skewed graphs; the vertex-parallel path (false) remains the
-  /// faithful reference.  Registered as the `g-pr-wb` solver, and
-  /// sweepable on any G-PR solver via the `balance` option.
-  bool balance = false;
+  /// degree-skewed graphs; the vertex-parallel path (kOff) remains the
+  /// faithful reference, and kAuto picks per solve by measured degree
+  /// skew.  Registered as the `g-pr-wb` solver (default auto), and
+  /// sweepable on any G-PR solver via the `balance=0|1|auto` option.
+  BalanceMode balance = BalanceMode::kOff;
+
+  /// kAuto's decision threshold on max/mean unmatched-column degree.
+  /// Calibrated against the bench suites: uniform_random sits near 3.4
+  /// and planted near 4, the hub/power-law instances at 7.7+.
+  double balance_skew_threshold = 4.5;
 
   /// The paper's Section V future work, implemented: run non-initial
   /// global relabels as a second stream overlapped with the push kernels
@@ -94,9 +115,21 @@ inline std::string to_string(RelabelStrategy s) {
   return s == RelabelStrategy::kFixed ? "fix" : "adaptive";
 }
 
+inline std::string to_string(BalanceMode b) {
+  switch (b) {
+    case BalanceMode::kOff: return "off";
+    case BalanceMode::kOn: return "on";
+    case BalanceMode::kAuto: return "auto";
+  }
+  return "?";
+}
+
 inline std::string GprOptions::describe() const {
-  return to_string(variant) + (balance ? "+WB" : "") + " (" +
-         to_string(strategy) + ", " + std::to_string(k) + ")";
+  const std::string wb = balance == BalanceMode::kOn     ? "+WB"
+                         : balance == BalanceMode::kAuto ? "+WB?"
+                                                         : "";
+  return to_string(variant) + wb + " (" + to_string(strategy) + ", " +
+         std::to_string(k) + ")";
 }
 
 }  // namespace bpm::gpu

@@ -97,8 +97,10 @@ std::vector<const PipelineJob*> PipelineReport::jobs_for(
 
 MatchingPipeline::MatchingPipeline(PipelineOptions options)
     : options_(std::move(options)),
-      engine_(std::make_shared<device::Engine>(options_.device_mode,
-                                               options_.device_threads)),
+      engine_(std::make_shared<device::Engine>(
+          device::EngineDescriptor{.backend = options_.device_backend,
+                                   .mode = options_.device_mode,
+                                   .threads = options_.device_threads})),
       device_(engine_) {}
 
 PipelineInstance admit_instance(std::string name, graph::BipartiteGraph graph,
@@ -112,6 +114,22 @@ PipelineInstance admit_instance(std::string name, graph::BipartiteGraph graph,
                   : matching::cheap_matching(inst.graph);
   inst.initial_cardinality = inst.init.cardinality();
   inst.fingerprint = graph::structural_fingerprint(inst.graph);
+  {
+    // Column-degree skew for backend-fit routing — one O(n) pass over the
+    // CSR pointers, amortised over every job this instance will serve.
+    const auto& col_ptr = inst.graph.col_ptr();
+    std::int64_t cols = 0, edges = 0, max_deg = 0;
+    for (std::size_t v = 0; v + 1 < col_ptr.size(); ++v) {
+      const std::int64_t deg = col_ptr[v + 1] - col_ptr[v];
+      if (deg == 0) continue;
+      ++cols;
+      edges += deg;
+      max_deg = std::max(max_deg, deg);
+    }
+    if (edges > 0)
+      inst.degree_skew =
+          static_cast<double>(max_deg) * cols / static_cast<double>(edges);
+  }
   if (options.verify)
     // Ground truth once per instance via Hopcroft–Karp seeded with the
     // shared init (tested against the independent reference in tests/).

@@ -19,6 +19,10 @@ class ResultCache;
 }  // namespace serve
 
 struct PipelineOptions {
+  /// Backend of the pipeline's shared device engine: the modeled C2050
+  /// simulator or the real multicore host executor
+  /// (`device::HostParallelEngine`).
+  device::Backend device_backend = device::default_backend();
   /// Execution mode of the pipeline's shared device engine (used by every
   /// needs-device solver in the batch).
   device::ExecMode device_mode = device::ExecMode::kConcurrent;
@@ -66,6 +70,11 @@ struct PipelineInstance {
   /// instances with equal fingerprints are the same graph, which is what
   /// keys the result cache.
   std::uint64_t fingerprint = 0;
+  /// Column-degree skew (max/mean over non-empty columns), computed once
+  /// at admission.  1 is perfectly uniform; hub instances run to 10+.
+  /// Dispatchers use it to route skewed instances to engines whose
+  /// backend thrives on balanced kernels (`serve::Routing::kBackendFit`).
+  double degree_skew = 0.0;
 };
 
 /// Builds the per-instance shared state the honoured `options` ask for:

@@ -50,7 +50,8 @@ device::Device& required_device(const SolveContext& ctx,
 
 class GprSolver final : public Solver {
  public:
-  GprSolver(std::string name, gpu::GprVariant variant, bool balance = false)
+  GprSolver(std::string name, gpu::GprVariant variant,
+            gpu::BalanceMode balance = gpu::BalanceMode::kOff)
       : name_(std::move(name)) {
     options_.variant = variant;
     options_.balance = balance;
@@ -60,7 +61,8 @@ class GprSolver final : public Solver {
 
   [[nodiscard]] SolverCaps caps() const override {
     return {.needs_device = true, .multicore = false, .deterministic = false,
-            .exact = true};
+            .exact = true,
+            .balanced = options_.balance != gpu::BalanceMode::kOff};
   }
 
   bool set_option(std::string_view key, std::string_view value) override {
@@ -81,7 +83,13 @@ class GprSolver final : public Solver {
     } else if (key == "concurrent-gr") {
       options_.concurrent_global_relabel = parse_bool(key, value);
     } else if (key == "balance") {
-      options_.balance = parse_bool(key, value);
+      if (value == "auto")
+        options_.balance = gpu::BalanceMode::kAuto;
+      else
+        options_.balance = parse_bool(key, value) ? gpu::BalanceMode::kOn
+                                                  : gpu::BalanceMode::kOff;
+    } else if (key == "balance-skew") {
+      options_.balance_skew_threshold = parse_double(key, value);
     } else {
       return false;
     }
@@ -103,7 +111,11 @@ class GprSolver final : public Solver {
     std::ostringstream d;
     d << options_.describe() << ": " << r.stats.global_relabels
       << " global relabels, " << r.stats.shrinks << " shrinks, ";
-    if (options_.balance) d << r.stats.frontier_builds << " frontier builds, ";
+    if (options_.balance == gpu::BalanceMode::kAuto)
+      d << "skew " << r.stats.balance_skew << " -> "
+        << (r.stats.balanced ? "balanced" : "vertex-parallel") << ", ";
+    if (r.stats.balanced)
+      d << r.stats.frontier_builds << " frontier builds, ";
     d << r.stats.device_launches << " launches";
     out.stats.detail = d.str();
     return out;
@@ -425,9 +437,12 @@ SolverRegistry::SolverRegistry() {
   });
   add("g-pr-wb", [] {
     // Workload-balanced G-PR: edge-balanced push over a per-loop compacted
-    // frontier (GprOptions::balance).
+    // frontier (GprOptions::balance).  Defaults to balance=auto — the
+    // measured degree skew of the unmatched columns decides per solve, so
+    // uniform instances keep the vertex-parallel path's speed; force with
+    // balance=1 / balance=0.
     return std::make_unique<GprSolver>("g-pr-wb", gpu::GprVariant::kShrink,
-                                       /*balance=*/true);
+                                       gpu::BalanceMode::kAuto);
   });
   add("g-hk", [] { return std::make_unique<GhkSolver>("g-hk", false); });
   add("g-hkdw", [] { return std::make_unique<GhkSolver>("g-hkdw", true); });

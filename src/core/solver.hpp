@@ -31,6 +31,11 @@ struct SolverCaps {
   /// initialisation heuristics (greedy, Karp–Sipser), which are registered
   /// so that pipelines can run and compare them like any other solver.
   bool exact = true;
+  /// Uses edge-balanced (`Device::launch_balanced`) kernels — on or auto
+  /// (`GprOptions::balance`).  A routing hint: balanced kernels thrive on
+  /// skewed instances and on the host backend's work-partitioned chunks
+  /// (`serve::Routing::kBackendFit`).
+  bool balanced = false;
 };
 
 /// Unified per-run statistics every solver reports, regardless of backend.

@@ -16,6 +16,10 @@ struct GprStats {
                                      ///< pushes landing mid-flight
   std::int64_t shrinks = 0;          ///< G-PR-SHRKRNL invocations
   std::int64_t frontier_builds = 0;  ///< balanced-path frontier compactions
+  /// balance=auto's input: max/mean degree over the initially unmatched
+  /// columns (0 when the solve never measured it, i.e. balance != auto).
+  double balance_skew = 0.0;
+  bool balanced = false;  ///< ran the workload-balanced frontier path
   std::int64_t device_launches = 0;  ///< all kernel launches on the device
   graph::index_t last_max_level = 0; ///< maxLevel of the final global relabel
   graph::index_t active_peak = 0;    ///< longest active list observed

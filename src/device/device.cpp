@@ -1,8 +1,45 @@
 #include "device/device.hpp"
 
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
 
 namespace bpm::device {
+
+Backend parse_backend(std::string_view name) {
+  if (name == "sim") return Backend::kSim;
+  if (name == "host") return Backend::kHost;
+  throw std::invalid_argument("unknown backend '" + std::string(name) +
+                              "' (choices: sim, host)");
+}
+
+std::string_view backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kSim:
+      return "sim";
+    case Backend::kHost:
+      return "host";
+  }
+  return "?";
+}
+
+Backend default_backend() {
+  static const Backend value = [] {
+    const char* env = std::getenv("BPM_DEVICE_BACKEND");
+    return env != nullptr && *env != '\0' ? parse_backend(env)
+                                          : Backend::kSim;
+  }();
+  return value;
+}
+
+std::string EngineDescriptor::summary() const {
+  std::string out(backend_name(backend));
+  out += backend == Backend::kHost ? "(workers=" : "(lanes=";
+  out += std::to_string(lanes);
+  if (mode == ExecMode::kSequential) out += ",seq";
+  out += ')';
+  return out;
+}
 
 std::vector<std::int64_t> balanced_partition(
     std::span<const std::int64_t> offsets, std::int64_t parts) {
@@ -32,9 +69,16 @@ std::vector<std::int64_t> balanced_partition(
   return bounds;
 }
 
-Engine::Engine(ExecMode mode, unsigned num_threads) : mode_(mode) {
-  if (mode_ == ExecMode::kConcurrent)
-    pool_ = std::make_unique<ThreadPool>(num_threads);
+Engine::Engine(ExecMode mode, unsigned num_threads)
+    : Engine(EngineDescriptor{.backend = default_backend(),
+                              .mode = mode,
+                              .threads = num_threads}) {}
+
+Engine::Engine(EngineDescriptor descriptor) : descriptor_(descriptor) {
+  if (descriptor_.mode == ExecMode::kConcurrent)
+    pool_ = std::make_unique<ThreadPool>(descriptor_.threads);
+  if (descriptor_.backend == Backend::kHost)
+    descriptor_.lanes = static_cast<int>(num_workers());
 }
 
 EngineStats Engine::stats() const {
@@ -47,11 +91,13 @@ void Engine::note_stream_opened() {
   ++stats_.streams_opened;
 }
 
-void Engine::retire_stream(std::uint64_t launches, double modeled_us) {
+void Engine::retire_stream(std::uint64_t launches, double modeled_us,
+                           double native_us) {
   const std::scoped_lock lock(stats_mutex_);
   ++stats_.streams_retired;
   stats_.launches += launches;
   stats_.modeled_ms += modeled_us / 1e3;
+  stats_.native_ms += native_us / 1e3;
 }
 
 void Engine::add_load(double work) {

@@ -1,10 +1,13 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -21,6 +24,32 @@ enum class ExecMode {
   /// the faithful model of a CUDA grid.
   kConcurrent,
 };
+
+/// Which execution backend an engine is.  Orthogonal to `ExecMode`: the
+/// mode picks interleaving semantics (sequential vs concurrent), the
+/// backend picks what a launch *costs* and how its items are chunked.
+enum class Backend {
+  /// The modeled C2050 simulator: per-launch `DeviceModel` charges,
+  /// equal-item worker chunks, lane-tally straggler accounting.  Its
+  /// native time metric is the modeled device time.
+  kSim,
+  /// The real multicore host executor (`HostParallelEngine`): kernels run
+  /// in parallel on the pool with dynamically claimed, oversubscribed
+  /// chunks (edge-balanced ones in `launch_balanced`), no model charges
+  /// and no lane tallies.  Its native time metric is measured wall clock.
+  kHost,
+};
+
+/// "sim" | "host"; throws `std::invalid_argument` on anything else.
+[[nodiscard]] Backend parse_backend(std::string_view name);
+[[nodiscard]] std::string_view backend_name(Backend backend);
+
+/// The process-wide default backend: `sim`, unless the BPM_DEVICE_BACKEND
+/// environment variable says otherwise ("sim" | "host", read once).  Every
+/// construction path that does not name a backend explicitly starts here —
+/// this is how CI reruns the existing test suites on the host backend
+/// without touching a single test.
+[[nodiscard]] Backend default_backend();
 
 /// Analytic timing model of a target GPU, used to report *modeled device
 /// time* next to host wall time (DESIGN.md D9).  A kernel over n logical
@@ -66,7 +95,38 @@ struct DeviceModel {
   int lanes = 448;  ///< physical lanes of the straggler model (0 = off)
 };
 
+/// What an engine *is*: its backend kind and the execution resources it
+/// brings.  Surfaced through `Engine::descriptor()` so dispatchers
+/// (`serve::EngineGroup`) can route work by backend fit — a mixed pool of
+/// sim and host engines is just a pool of differing descriptors.
+struct EngineDescriptor {
+  Backend backend = Backend::kSim;
+  ExecMode mode = ExecMode::kConcurrent;
+  unsigned threads = 0;  ///< pool workers (0 = hardware concurrency)
+  /// Parallel lanes behind a launch: the sim's straggler-model lanes
+  /// (`DeviceModel::lanes`); the host backend's resolved worker count
+  /// (filled in by the engine once its pool exists).
+  int lanes = 448;
+  /// Advisory device memory budget in bytes (0 = unbounded).  The host
+  /// backend shares host RAM, so this is a routing hint, not a limit.
+  std::size_t memory_budget = 0;
+  /// Host backend: the smallest per-slot item count worth a pool
+  /// dispatch.  Launches whose per-slot share would fall below it run
+  /// inline on the calling thread (the serial cutoff every real host
+  /// runtime applies); lower it to force fan-out on tiny grids (the TSan
+  /// tests do).
+  std::int64_t host_grain = 16384;
+
+  /// One-line human-readable form, e.g. "host(workers=8)" or
+  /// "sim(lanes=448)".
+  [[nodiscard]] std::string summary() const;
+};
+
 struct DeviceOptions {
+  /// Execution backend of the device's private engine (see `Backend`).
+  /// Declared first so existing `{.mode = ..., .num_threads = ...}`
+  /// initializers stay valid.
+  Backend backend = default_backend();
   ExecMode mode = ExecMode::kConcurrent;
   /// Worker count; 0 = hardware concurrency.  Oversubscribing (threads >>
   /// cores) widens the space of observable interleavings — the race stress
@@ -114,6 +174,10 @@ struct EngineStats {
   /// theirs until destruction, so two streams' stats never mix).
   std::uint64_t launches = 0;
   double modeled_ms = 0.0;
+  /// The backend's native time metric: measured in-kernel wall time for
+  /// host engines, modeled device time for sim engines (see
+  /// `Device::native_ms`).
+  double native_ms = 0.0;
 };
 
 /// The shared execution backend of a device: the worker pool and the
@@ -124,10 +188,20 @@ struct EngineStats {
 /// folds its totals into the engine's `EngineStats` when it retires.
 class Engine {
  public:
+  /// A sim engine (the pre-backend spelling, kept for the many call
+  /// sites that only care about mode and worker count).
   explicit Engine(ExecMode mode = ExecMode::kConcurrent,
                   unsigned num_threads = 0);
+  /// An engine of any backend.  The descriptor's `lanes` field is
+  /// resolved to the actual pool size for host engines.
+  explicit Engine(EngineDescriptor descriptor);
+  virtual ~Engine() = default;
 
-  [[nodiscard]] ExecMode mode() const { return mode_; }
+  [[nodiscard]] ExecMode mode() const { return descriptor_.mode; }
+  [[nodiscard]] Backend backend() const { return descriptor_.backend; }
+  [[nodiscard]] const EngineDescriptor& descriptor() const {
+    return descriptor_;
+  }
   [[nodiscard]] unsigned num_workers() const {
     return pool_ ? pool_->size() : 1;
   }
@@ -139,7 +213,8 @@ class Engine {
 
   /// Stream bookkeeping, called by `Device`.
   void note_stream_opened();
-  void retire_stream(std::uint64_t launches, double modeled_us);
+  void retire_stream(std::uint64_t launches, double modeled_us,
+                     double native_us);
 
   /// In-flight load gauge for dispatchers (`serve::EngineGroup`): the
   /// modeled work units currently routed onto this engine.  The engine
@@ -151,11 +226,39 @@ class Engine {
   [[nodiscard]] double load() const;
 
  private:
-  ExecMode mode_;
+  EngineDescriptor descriptor_;
   std::unique_ptr<ThreadPool> pool_;
   mutable std::mutex stats_mutex_;
   EngineStats stats_;
   double load_ = 0.0;
+};
+
+/// The real multicore backend behind the `Engine` seam: kernel lambdas
+/// actually run in parallel on the worker pool, chunks are claimed
+/// dynamically (oversubscribed slots via `ThreadPool::run_tasks`, so a
+/// straggler chunk never idles the other workers), `launch_balanced`
+/// partitions *work* rather than items across the slots, and the native
+/// time metric is measured wall clock instead of the C2050 model.
+///
+/// The class adds no state — backend behaviour lives in `Device`'s launch
+/// paths, keyed off `Engine::backend()` — it is the named, documented way
+/// to construct a host engine:
+///
+/// ```
+/// auto engine = std::make_shared<device::HostParallelEngine>(8);
+/// device::Device stream(engine);   // launches now run on 8 real threads
+/// ```
+class HostParallelEngine : public Engine {
+ public:
+  explicit HostParallelEngine(unsigned num_threads = 0,
+                              ExecMode mode = ExecMode::kConcurrent)
+      : Engine(EngineDescriptor{.backend = Backend::kHost,
+                                .mode = mode,
+                                .threads = num_threads}) {}
+  explicit HostParallelEngine(EngineDescriptor descriptor) : Engine([&] {
+          descriptor.backend = Backend::kHost;
+          return descriptor;
+        }()) {}
 };
 
 /// A CUDA-style bulk-synchronous execution stream on host threads.
@@ -185,8 +288,15 @@ class Engine {
 class Device {
  public:
   /// A device with its own private engine (the pre-stream behaviour).
+  /// `options.backend` selects the sim engine or a `HostParallelEngine`.
   explicit Device(DeviceOptions options = {})
-      : engine_(std::make_shared<Engine>(options.mode, options.num_threads)),
+      : engine_(options.backend == Backend::kHost
+                    ? std::make_shared<HostParallelEngine>(options.num_threads,
+                                                           options.mode)
+                    : std::make_shared<Engine>(
+                          EngineDescriptor{.backend = options.backend,
+                                           .mode = options.mode,
+                                           .threads = options.num_threads})),
         model_(options.model) {
     engine_->note_stream_opened();
   }
@@ -205,13 +315,15 @@ class Device {
   Device& operator=(Device&&) = delete;
 
   ~Device() {
-    if (engine_) engine_->retire_stream(launches_, modeled_us_);
+    if (engine_)
+      engine_->retire_stream(launches_, modeled_us_, native_us());
   }
 
   [[nodiscard]] const std::shared_ptr<Engine>& engine() const {
     return engine_;
   }
   [[nodiscard]] ExecMode mode() const { return engine_->mode(); }
+  [[nodiscard]] Backend backend() const { return engine_->backend(); }
   [[nodiscard]] unsigned num_workers() const { return engine_->num_workers(); }
   [[nodiscard]] std::uint64_t launches() const { return launches_; }
   void reset_launch_count() { launches_ = 0; }
@@ -219,20 +331,32 @@ class Device {
   /// Modeled device time accumulated on this stream (see DeviceModel).
   /// Kernels that report their work via `launch_accounted` contribute
   /// their work term; plain launches contribute latency + per-item cost
-  /// only.
+  /// only.  Always 0 on the host backend, whose launches are measured,
+  /// not modeled — consumers that fall back to wall time when the model
+  /// reads 0 (`bench::device_seconds`) do the right thing automatically.
   [[nodiscard]] double modeled_ms() const { return modeled_us_ / 1e3; }
   void reset_modeled_time() { modeled_us_ = 0.0; }
 
+  /// The backend's native time metric for this stream: measured in-kernel
+  /// wall time on the host backend, modeled device time on the sim — the
+  /// number each backend itself claims a launch cost.
+  [[nodiscard]] double native_ms() const { return native_us() / 1e3; }
+
   /// Adds work units to the model without a launch — for kernels whose
   /// work is easier to tally host-side (e.g. the shrink compaction's two
-  /// resolve passes).
+  /// resolve passes).  No-op on the host backend (measured, not modeled).
   void charge_work(std::int64_t work) {
+    if (host()) return;
     modeled_us_ += static_cast<double>(work) * model_.ns_per_work * 1e-3;
   }
 
   /// One kernel launch: `kernel(i)` for all i in [0, n).
   template <typename Kernel>
   void launch(std::int64_t n, Kernel&& kernel) {
+    if (host()) {
+      host_launch(n, kernel);
+      return;
+    }
     ++launches_;
     account(n, 0);
     if (n <= 0) return;
@@ -258,6 +382,13 @@ class Device {
   /// modes and at any worker count.
   template <typename Kernel>
   void launch_accounted(std::int64_t n, Kernel&& kernel) {
+    if (host()) {
+      // The host backend measures instead of modeling, so the kernel's
+      // reported work units are not tallied — no lane bookkeeping, no
+      // per-chunk partial merges, just the launch itself.
+      host_launch(n, [&](std::int64_t i) { (void)kernel(i); });
+      return;
+    }
     ++launches_;
     if (n <= 0) {
       account(n, 0);
@@ -309,6 +440,10 @@ class Device {
   template <typename Kernel>
   void launch_balanced(std::span<const std::int64_t> offsets,
                        Kernel&& kernel) {
+    if (host()) {
+      host_launch_balanced(offsets, kernel);
+      return;
+    }
     ++launches_;
     const auto n = static_cast<std::int64_t>(offsets.size()) - 1;
     if (n <= 0) {
@@ -328,6 +463,29 @@ class Device {
   void launch_chunked(std::int64_t n, Kernel&& kernel) {
     ++launches_;
     if (n <= 0) return;
+    if (host()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const std::int64_t grain =
+          std::max<std::int64_t>(engine_->descriptor().host_grain, 1);
+      // One chunk per worker is part of the contract (callers size
+      // per-worker scratch by `num_workers()` and index it by the slot
+      // id), so the host path keeps the sim's static partition and only
+      // applies the serial cutoff: a grid below the grain runs inline as
+      // worker 0, the remaining slots simply see empty ranges.
+      if (mode() == ExecMode::kSequential || num_workers() == 1 ||
+          n < grain) {
+        kernel(0u, std::int64_t{0}, n);
+      } else {
+        const auto workers = static_cast<std::int64_t>(num_workers());
+        const std::function<void(unsigned)> job = [&](unsigned w) {
+          const auto [begin, end] = chunk(n, workers, w);
+          kernel(w, begin, end);
+        };
+        engine_->pool()->run_tasks(num_workers(), job);
+      }
+      native_us_ += elapsed_us(t0);
+      return;
+    }
     if (mode() == ExecMode::kSequential || num_workers() == 1) {
       kernel(0u, std::int64_t{0}, n);
       return;
@@ -341,6 +499,84 @@ class Device {
   }
 
  private:
+  [[nodiscard]] bool host() const {
+    return engine_->backend() == Backend::kHost;
+  }
+
+  /// What this stream retires as its native time: the measured wall
+  /// accumulator on the host backend, the model accumulator on the sim.
+  [[nodiscard]] double native_us() const {
+    return host() ? native_us_ : modeled_us_;
+  }
+
+  static double elapsed_us(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  }
+
+  /// Pool slots a host launch of `n` units (items or work) fans out to.
+  /// 1 below twice the grain — the serial cutoff that keeps the
+  /// thousands of tiny launches a push-relabel run issues off the pool's
+  /// fork-join path — otherwise one slot per grain, oversubscribed up to
+  /// 8× the workers so `run_tasks`'s dynamic claiming absorbs straggler
+  /// chunks.
+  [[nodiscard]] std::int64_t host_slots(std::int64_t n) const {
+    if (mode() == ExecMode::kSequential || num_workers() == 1) return 1;
+    const std::int64_t grain =
+        std::max<std::int64_t>(engine_->descriptor().host_grain, 1);
+    if (n < 2 * grain) return 1;
+    const auto workers = static_cast<std::int64_t>(num_workers());
+    return std::clamp<std::int64_t>(n / grain, 1, workers * 8);
+  }
+
+  /// The host backend's `launch`: dynamic equal-item chunks over
+  /// `host_slots` slots, measured wall time, no model bookkeeping.
+  template <typename Kernel>
+  void host_launch(std::int64_t n, Kernel&& kernel) {
+    ++launches_;
+    if (n <= 0) return;
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::int64_t slots = host_slots(n);
+    if (slots <= 1) {
+      for (std::int64_t i = 0; i < n; ++i) kernel(i);
+    } else {
+      const std::function<void(unsigned)> job = [&](unsigned s) {
+        const auto [begin, end] = chunk(n, slots, s);
+        for (std::int64_t i = begin; i < end; ++i) kernel(i);
+      };
+      engine_->pool()->run_tasks(static_cast<unsigned>(slots), job);
+    }
+    native_us_ += elapsed_us(t0);
+  }
+
+  /// The host backend's `launch_balanced`: chunk count sized by total
+  /// *work* (`offsets.back()`), boundaries from the same
+  /// `balanced_partition` the sim models — here they bound what each
+  /// pool slot actually executes.
+  template <typename Kernel>
+  void host_launch_balanced(std::span<const std::int64_t> offsets,
+                            Kernel&& kernel) {
+    ++launches_;
+    const auto n = static_cast<std::int64_t>(offsets.size()) - 1;
+    if (n <= 0) return;
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::int64_t total = offsets.back();
+    const std::int64_t slots =
+        std::min<std::int64_t>(host_slots(std::max(total, n)), n);
+    if (slots <= 1) {
+      for (std::int64_t i = 0; i < n; ++i) (void)kernel(i);
+    } else {
+      const auto bounds = balanced_partition(offsets, slots);
+      const std::function<void(unsigned)> job = [&](unsigned s) {
+        for (std::int64_t i = bounds[s]; i < bounds[s + 1]; ++i)
+          (void)kernel(i);
+      };
+      engine_->pool()->run_tasks(static_cast<unsigned>(slots), job);
+    }
+    native_us_ += elapsed_us(t0);
+  }
+
   void account(std::int64_t items, std::int64_t work) {
     modeled_us_ += model_.launch_latency_us +
                    (static_cast<double>(std::max<std::int64_t>(items, 0)) *
@@ -461,6 +697,7 @@ class Device {
   DeviceModel model_;
   std::uint64_t launches_ = 0;
   double modeled_us_ = 0.0;
+  double native_us_ = 0.0;  ///< host backend: measured in-kernel wall time
 };
 
 }  // namespace bpm::device

@@ -26,9 +26,17 @@ enum class Routing {
   /// placement — until the mapping is evicted (capacity or retirement).
   /// Unmapped fingerprints fall back to the least-loaded pick.
   kAffinity,
+  /// Place by backend fit in a (possibly mixed) pool: tiny dispatches go
+  /// to the engine with the fewest lanes (the cheapest one to occupy);
+  /// skewed, huge, or balanced-kernel dispatches go to host engines with
+  /// the most workers (where edge-balanced chunks are real parallelism);
+  /// everything else falls back to the least-loaded pick.  Thresholds in
+  /// `EngineGroupOptions::fit_*`; the dispatch shape comes from
+  /// `DispatchProfile`.
+  kBackendFit,
 };
 
-/// "round-robin" | "least-loaded" | "affinity"; throws
+/// "round-robin" | "least-loaded" | "affinity" | "backend-fit"; throws
 /// `std::invalid_argument` (listing the policies) on anything else.
 [[nodiscard]] Routing parse_routing(std::string_view name);
 [[nodiscard]] std::string_view routing_name(Routing routing);
@@ -36,11 +44,37 @@ enum class Routing {
 struct EngineGroupOptions {
   unsigned engines = 1;  ///< pool size (rounded up to at least 1)
   Routing routing = Routing::kLeastLoaded;
+  /// Backend of every engine in a uniform pool (ignored when
+  /// `descriptors` is non-empty).
+  device::Backend backend = device::default_backend();
   device::ExecMode device_mode = device::ExecMode::kConcurrent;
   unsigned device_threads = 0;  ///< per-engine pool workers (0 = hardware)
+  /// Explicit per-engine descriptors — a *mixed* pool (sim next to host,
+  /// differing worker counts).  Non-empty overrides `engines`/`backend`/
+  /// `device_mode`/`device_threads`; one engine is built per entry.
+  std::vector<device::EngineDescriptor> descriptors;
   /// Bound on sticky (fingerprint → engine) entries under `kAffinity`;
   /// beyond it the least-recently dispatched mapping is evicted.
   std::size_t affinity_capacity = 1024;
+  /// `kBackendFit` thresholds: a dispatch below `fit_tiny_work` estimated
+  /// work units is tiny; one at/above `fit_huge_work`, with
+  /// `DispatchProfile::degree_skew >= fit_skew_threshold`, or running
+  /// balanced kernels wants a host engine.
+  double fit_tiny_work = 4096.0;
+  double fit_huge_work = 1e7;
+  double fit_skew_threshold = 4.5;
+};
+
+/// The shape of one dispatch, for routing policies that look past the
+/// fingerprint (`kBackendFit`).  Built by the dispatcher from what it
+/// already knows: the admitted instance's size and degree skew, and the
+/// solver's capabilities.
+struct DispatchProfile {
+  std::uint64_t fingerprint = 0;
+  double estimated_work = 0.0;  ///< load-gauge charge (clamped to >= 1)
+  std::int64_t edges = 0;       ///< instance edge count
+  double degree_skew = 0.0;     ///< PipelineInstance::degree_skew
+  bool balanced_kernels = false;  ///< solver runs edge-balanced launches
 };
 
 /// One engine's dispatch counters, next to its device odometer.
@@ -51,6 +85,8 @@ struct EngineGroupEngineStats {
   double work_dispatched = 0.0;     ///< cumulative estimated work routed
   double load = 0.0;                ///< snapshot: in-flight estimated work
   device::EngineStats device;       ///< the engine's lifetime aggregates
+  device::EngineDescriptor descriptor;  ///< what the engine is (backend,
+                                        ///< lanes/workers)
 };
 
 /// A pool of N `device::Engine`s behind one dispatch point: `acquire`
@@ -121,11 +157,15 @@ class EngineGroup {
     double work_ = 0.0;
   };
 
-  /// Routes one dispatch: picks an engine for `fingerprint` under the
+  /// Routes one dispatch: picks an engine for the profile under the
   /// routing policy, charges `estimated_work` (clamped to at least 1) to
   /// its load gauge, and returns the lease.  Never fails: with every
   /// engine retired, the pick falls back over the retired pool — a
   /// draining service must still make progress.
+  [[nodiscard]] Lease acquire(const DispatchProfile& profile);
+
+  /// Fingerprint-and-work shorthand for policies that need nothing more
+  /// (everything but `kBackendFit`, which sees an all-default shape).
   [[nodiscard]] Lease acquire(std::uint64_t fingerprint,
                               double estimated_work);
 
@@ -147,8 +187,10 @@ class EngineGroup {
   [[nodiscard]] std::vector<EngineGroupEngineStats> stats() const;
 
  private:
-  [[nodiscard]] unsigned pick_locked(std::uint64_t fingerprint);
+  [[nodiscard]] unsigned pick_locked(const DispatchProfile& profile);
   [[nodiscard]] unsigned least_loaded_locked() const;
+  [[nodiscard]] unsigned backend_fit_locked(
+      const DispatchProfile& profile) const;
 
   EngineGroupOptions options_;
   std::vector<std::shared_ptr<device::Engine>> engines_;

@@ -22,8 +22,10 @@ MatchingService::MatchingService(ServiceOptions options)
     : options_(std::move(options)),
       group_({.engines = options_.engines,
               .routing = options_.routing,
+              .backend = options_.backend,
               .device_mode = options_.device_mode,
-              .device_threads = options_.device_threads}),
+              .device_threads = options_.device_threads,
+              .descriptors = options_.engine_descriptors}),
       store_([&] {
         PipelineOptions admit;
         admit.verify = options_.verify;
@@ -191,10 +193,23 @@ void MatchingService::serve_batch(
     const double estimated_work =
         static_cast<double>(inst.graph.num_edges() + inst.graph.num_rows()) *
         static_cast<double>(distinct.size());
+    // The full dispatch shape for routing policies that look past the
+    // fingerprint (kBackendFit): instance size + admission-time degree
+    // skew, and whether any solver in the batch runs balanced kernels.
+    DispatchProfile profile{
+        .fingerprint = inst.fingerprint,
+        .estimated_work = estimated_work,
+        .edges = static_cast<std::int64_t>(inst.graph.num_edges()),
+        .degree_skew = inst.degree_skew};
+    for (const std::size_t i : live)
+      if (batch[i]->solver->caps().balanced) {
+        profile.balanced_kernels = true;
+        break;
+      }
     const std::function<device::Device&()> provider =
         [&]() -> device::Device& {
       if (!stream) {
-        lease.emplace(group_.acquire(inst.fingerprint, estimated_work));
+        lease.emplace(group_.acquire(profile));
         stream.emplace(lease->engine());
       }
       return *stream;

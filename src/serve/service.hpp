@@ -77,6 +77,13 @@ struct ServiceOptions {
   unsigned device_threads = 0;  ///< per-engine pool workers (0 = hardware)
   unsigned solver_threads = 0;  ///< multicore solver workers (0 = hardware)
   device::ExecMode device_mode = device::ExecMode::kConcurrent;
+  /// Backend of every engine in a uniform pool; `sim` keeps the modeled
+  /// C2050, `host` serves on real multicore executors.
+  device::Backend backend = device::default_backend();
+  /// Explicit per-engine descriptors — a *mixed* pool (see
+  /// `EngineGroupOptions::descriptors`).  Non-empty overrides `engines`,
+  /// `backend`, `device_mode`, and `device_threads`.
+  std::vector<device::EngineDescriptor> engine_descriptors;
   /// Admission queue depth; a submit beyond it is rejected with a reason
   /// (bounded memory and latency under overload).
   std::size_t queue_depth = 256;

@@ -33,7 +33,7 @@ index_t balanced_cardinality(const BipartiteGraph& g, unsigned threads,
   Device dev({.mode = ExecMode::kConcurrent, .num_threads = threads});
   gpu::GprOptions opt;
   opt.variant = variant;
-  opt.balance = true;
+  opt.balance = gpu::BalanceMode::kOn;
   opt.concurrent_global_relabel = concurrent_gr;
   const matching::Matching init = matching::cheap_matching(g);
   const gpu::GprResult r = gpu::g_pr(dev, g, init, opt);
@@ -75,7 +75,7 @@ TEST(Balance, MatchesReferenceCardinalityAcrossRandomizedSuite) {
         // just check the result shape.
         Device dev({.mode = ExecMode::kConcurrent, .num_threads = 4});
         gpu::GprOptions opt;
-        opt.balance = true;
+        opt.balance = gpu::BalanceMode::kOn;
         EXPECT_EQ(gpu::g_pr(dev, g, matching::cheap_matching(g), opt)
                       .matching.cardinality(),
                   want);
@@ -136,6 +136,9 @@ TEST(Balance, GprWbIsRegisteredAndDispatchable) {
   EXPECT_EQ(solver->name(), "g-pr-wb");
   EXPECT_TRUE(solver->caps().needs_device);
   EXPECT_TRUE(solver->caps().exact);
+  // g-pr-wb defaults to balance=auto, which is a balanced capability for
+  // routing purposes and reports its per-solve skew decision.
+  EXPECT_TRUE(solver->caps().balanced);
 
   const BipartiteGraph g = gen::skewed_hubs(120, 150, 4, 0.3, 2.0, 7);
   Device dev({.mode = ExecMode::kConcurrent, .num_threads = 4});
@@ -143,8 +146,43 @@ TEST(Balance, GprWbIsRegisteredAndDispatchable) {
   const matching::Matching init = matching::cheap_matching(g);
   const SolveResult r = solver->run(ctx, g, init);
   EXPECT_EQ(r.stats.cardinality, matching::reference_maximum_cardinality(g));
-  EXPECT_GT(r.stats.modeled_ms, 0.0);
-  EXPECT_NE(r.stats.detail.find("frontier builds"), std::string::npos);
+  // The host backend measures wall time instead of charging the model.
+  if (device::default_backend() == device::Backend::kHost)
+    EXPECT_EQ(r.stats.modeled_ms, 0.0);
+  else
+    EXPECT_GT(r.stats.modeled_ms, 0.0);
+  EXPECT_NE(r.stats.detail.find("skew "), std::string::npos);
+
+  // Forcing the balanced path keeps the pre-auto behaviour (and its
+  // frontier-compaction counter in the detail line).
+  auto forced = SolverRegistry::instance().create("g-pr-wb");
+  ASSERT_TRUE(forced->set_option("balance", "1"));
+  const SolveResult rf = forced->run(ctx, g, init);
+  EXPECT_EQ(rf.stats.cardinality, r.stats.cardinality);
+  EXPECT_NE(rf.stats.detail.find("frontier builds"), std::string::npos);
+}
+
+TEST(Balance, AutoModeDecidesBySkewThreshold) {
+  // A hub-block instance whose max/mean unmatched-column degree is far
+  // above 1: with the threshold below the measured skew auto must run
+  // balanced, with it above auto must fall back to vertex-parallel —
+  // both agreeing on the cardinality.
+  const BipartiteGraph g =
+      gen::skewed_hubs(200, 240, 10, 0.2, 2.5, 11, /*scatter=*/false);
+  const index_t want = matching::reference_maximum_cardinality(g);
+  const matching::Matching init = matching::cheap_matching(g);
+  for (const double threshold : {1.0, 1e9}) {
+    Device dev({.mode = ExecMode::kConcurrent, .num_threads = 4});
+    gpu::GprOptions opt;
+    opt.balance = gpu::BalanceMode::kAuto;
+    opt.balance_skew_threshold = threshold;
+    const gpu::GprResult r = gpu::g_pr(dev, g, init, opt);
+    EXPECT_EQ(r.matching.cardinality(), want) << "threshold " << threshold;
+    EXPECT_GT(r.stats.balance_skew, 0.0);
+    EXPECT_EQ(r.stats.balanced, threshold < r.stats.balance_skew);
+    if (init.cardinality() < want)
+      EXPECT_EQ(r.stats.frontier_builds > 0, r.stats.balanced);
+  }
 }
 
 TEST(Balance, BalanceOptionSweepsOnEveryGprSolver) {
@@ -190,7 +228,7 @@ TEST(Balance, FrontierCompactionCountersUnderConcurrentStreams) {
           matching::reference_maximum_cardinality(g);
       Device stream(engine);
       gpu::GprOptions opt;
-      opt.balance = true;
+      opt.balance = gpu::BalanceMode::kOn;
       opt.concurrent_global_relabel = (s % 2) == 1;
       const gpu::GprResult r =
           gpu::g_pr(stream, g, matching::cheap_matching(g), opt);

@@ -75,7 +75,7 @@ std::vector<NamedMatcher> all_matchers() {
                    Device dev({.mode = ExecMode::kConcurrent,
                                .num_threads = 4});
                    gpu::GprOptions opt;
-                   opt.balance = true;
+                   opt.balance = gpu::BalanceMode::kOn;
                    return gpu::g_pr(dev, g, init, opt).matching;
                  }});
   out.push_back({"g_hk", [](const auto& g, const auto& init) {

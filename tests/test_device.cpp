@@ -143,7 +143,10 @@ TEST(Device, SequentialModeRunsInOrder) {
 // -------------------------------------------------------------- streams ----
 
 TEST(Device, StreamsShareOneEngineButKeepTheirOwnStats) {
-  const auto engine = std::make_shared<Engine>(ExecMode::kConcurrent, 4);
+  // Pinned to sim: the EXPECT_NEARs below check the cost model's exact
+  // charges, which the host backend replaces with measured wall time.
+  const auto engine = std::make_shared<Engine>(EngineDescriptor{
+      .backend = Backend::kSim, .mode = ExecMode::kConcurrent, .threads = 4});
   Device a(engine), b(engine);
   EXPECT_EQ(a.engine().get(), b.engine().get());
   EXPECT_EQ(a.num_workers(), 4u);
@@ -401,7 +404,8 @@ TEST(BalancedLaunch, ModelsBalancedGridBelowVertexParallelOnSkew) {
   for (std::size_t i = 0; i < 448; ++i) work[i] = 100;  // the hub block
   const auto offsets = offsets_of(work);
   auto modeled = [&](bool balanced, ExecMode mode) {
-    Device dev({.mode = mode, .num_threads = 4});
+    // Pinned to sim: this test compares *modeled* schedules.
+    Device dev({.backend = Backend::kSim, .mode = mode, .num_threads = 4});
     const auto kernel = [&](std::int64_t i) -> std::int64_t {
       return work[static_cast<std::size_t>(i)];
     };

@@ -40,7 +40,7 @@ index_t cardinality_of(const std::string& algo, const BipartiteGraph& g) {
   if (algo == "g_pr_wb") {
     Device dev({.mode = ExecMode::kConcurrent, .num_threads = 4});
     gpu::GprOptions opt;
-    opt.balance = true;
+    opt.balance = gpu::BalanceMode::kOn;
     return gpu::g_pr(dev, g, init, opt).matching.cardinality();
   }
   if (algo == "g_hkdw") {
