@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "graph/generators.hpp"
 #include "matching/greedy.hpp"
 #include "matching/hopcroft_karp.hpp"
 
@@ -74,6 +75,52 @@ BuiltInstance build_instance(const graph::Instance& meta,
   return bi;
 }
 
+std::vector<BuiltInstance> build_massive_suite(const SuiteOptions& opt) {
+  // ~10x the realised edge count of the largest Table I analogue at the
+  // default 1/64 scale (~1.4M edges): both instances land near 13M edges
+  // at scale 1.0.  Rows < cols keeps them deficient, so push-relabel
+  // stays busy past the greedy init instead of retiring immediately.
+  const auto sized = [&](double v) {
+    return std::max<graph::index_t>(
+        64, static_cast<graph::index_t>(v * opt.scale));
+  };
+  struct Massive {
+    int id;
+    const char* name;
+    graph::BipartiteGraph g;
+  };
+  std::vector<Massive> metas;
+  // Hubby shape: a hub column every 500 columns (~0.4% of rows each) over
+  // a sparse background — the straggler shape intra-item min-combine and
+  // the edge-balanced shard cut exist for.
+  metas.push_back({101, "massive_hubs",
+                   graph::gen::huge_bipartite(sized(920e3), sized(1e6), 6.0,
+                                              0.004, 500, opt.seed + 101)});
+  // Uniform control: same scale, no hubs — shard scaling with nothing for
+  // balancing to fix.
+  metas.push_back({102, "massive_uniform",
+                   graph::gen::huge_bipartite(sized(960e3), sized(1e6), 13.0,
+                                              0.0, 0, opt.seed + 102)});
+  std::vector<BuiltInstance> out;
+  out.reserve(metas.size());
+  for (Massive& m : metas) {
+    BuiltInstance bi;
+    bi.meta.id = m.id;
+    bi.meta.name = m.name;
+    bi.meta.cls = graph::InstanceClass::kCombinat;
+    bi.meta.paper.rows = m.g.num_rows();
+    bi.meta.paper.cols = m.g.num_cols();
+    bi.meta.paper.edges = m.g.num_edges();
+    bi.g = std::move(m.g);
+    bi.init = matching::cheap_matching(bi.g);
+    bi.initial_cardinality = bi.init.cardinality();
+    bi.maximum_cardinality =
+        matching::hopcroft_karp(bi.g, bi.init).cardinality();
+    out.push_back(std::move(bi));
+  }
+  return out;
+}
+
 std::vector<BuiltInstance> build_suite(const SuiteOptions& opt) {
   const std::vector<graph::Instance> metas =
       graph::select_instances(opt.stride);
@@ -128,7 +175,12 @@ PipelineReport run_grid(const std::vector<BuiltInstance>& suite,
 
 AlgoResult run_solver(const Solver& solver, device::Device& dev,
                       const BuiltInstance& bi, unsigned threads) {
-  const SolveContext ctx{.device = &dev, .threads = threads};
+  return run_solver(solver, SolveContext{.device = &dev, .threads = threads},
+                    bi);
+}
+
+AlgoResult run_solver(const Solver& solver, const SolveContext& ctx,
+                      const BuiltInstance& bi) {
   const SolveResult result = solver.run(ctx, bi.g, bi.init);
   AlgoResult r;
   r.seconds = result.stats.wall_ms / 1e3;

@@ -83,6 +83,17 @@ struct BuiltInstance {
 [[nodiscard]] BuiltInstance build_instance(const graph::Instance& meta,
                                            const SuiteOptions& opt);
 
+/// The shard-scaling `massive` suite: instances ~10x the edge count of
+/// the largest Table I analogue at default scale, built with the
+/// streamed `gen::huge_bipartite` (no intermediate edge list, so peak
+/// memory is the final CSR).  `opt.scale` multiplies the default-size
+/// vertex counts relative to 1.0 (NOT the 1/64 Table I convention —
+/// massive instances are already sized absolutely); `opt.seed` feeds the
+/// generator.  Ground truth is computed like every other suite's, so
+/// shard-scaling results stay oracle-verified.
+[[nodiscard]] std::vector<BuiltInstance> build_massive_suite(
+    const SuiteOptions& opt);
+
 /// Result of timing one algorithm on one instance.  Every runner verifies
 /// the returned matching is valid and maximum against the reference
 /// cardinality, so benchmark numbers are backed by checked results;
@@ -108,6 +119,13 @@ struct AlgoResult {
 [[nodiscard]] AlgoResult run_solver(const Solver& solver, device::Device& dev,
                                     const BuiltInstance& bi,
                                     unsigned threads = 0);
+
+/// Full-context variant: the caller builds the `SolveContext` (device,
+/// threads, engine fleet) — how `shard_scaling` hands sharded solvers a
+/// multi-engine fleet.
+[[nodiscard]] AlgoResult run_solver(const Solver& solver,
+                                    const SolveContext& ctx,
+                                    const BuiltInstance& bi);
 
 /// Registry-name convenience: `run_solver(*registry.create(name), ...)`.
 [[nodiscard]] AlgoResult run_solver(const std::string& name,

@@ -19,6 +19,7 @@
 //   gen <name> planted <n> <extra_degree> <seed>
 //   gen <name> chung-lu <rows> <cols> <avg_degree> <gamma> <seed>
 //   gen <name> instance <paper-name> <scale> <seed>
+//   gen <name> huge <rows> <cols> <avg_degree> <hub_fraction> <hub_every> <seed>
 //   submit <instance> <spec> [prio=<n>] [deadline=<ms>]   -> ticket <id>
 //   poll <ticket>                      non-blocking status check
 //   wait <ticket>                      block until the result line
@@ -88,9 +89,19 @@ graph::BipartiteGraph generate(const std::vector<std::string>& args) {
       if (inst.name == args[1]) return inst.build(std::stod(args[2]), arg_u(3));
     throw std::invalid_argument("unknown paper instance '" + args[1] + "'");
   }
+  if (kind == "huge") {
+    // Streamed CSR generation: peak memory is the final graph, so the
+    // service can register instances far past what an edge-list generator
+    // would fit — the shape `g-pr-sh:shards=K` serving is for.
+    want(6,
+         "<name> huge <rows> <cols> <avg_degree> <hub_fraction> <hub_every> "
+         "<seed>");
+    return graph::gen::huge_bipartite(arg_i(1), arg_i(2), std::stod(args[3]),
+                                      std::stod(args[4]), arg_i(5), arg_u(6));
+  }
   throw std::invalid_argument(
       "unknown generator '" + kind +
-      "' (uniform | planted | chung-lu | instance)");
+      "' (uniform | planted | chung-lu | instance | huge)");
 }
 
 /// Executes one protocol line; returns false on `shutdown`.
@@ -234,6 +245,9 @@ int main(int argc, char** argv) {
                  "engine routing policy (round-robin | least-loaded | "
                  "affinity | backend-fit)",
                  "least-loaded");
+  cli.add_flag("numa",
+               "spread the engines' numa_node hints across the machine's "
+               "NUMA nodes (each engine's pool and arenas stay node-local)");
   cli.add_flag("no-coalesce",
                "serve every request as its own dispatch instead of "
                "batching same-instance queued requests");
@@ -264,6 +278,17 @@ int main(int argc, char** argv) {
     opt.verify = !cli.get_flag("no-verify");
     opt.engines = static_cast<unsigned>(cli.get_int("engines"));
     opt.routing = serve::parse_routing(cli.get_string("routing"));
+    if (cli.get_flag("numa")) {
+      // Explicit descriptors: engine e pinned to NUMA node e % nodes, so a
+      // sharded solve's shard-local arenas land on the engine's socket.
+      const std::vector<std::vector<int>> nodes = device::numa_topology();
+      for (unsigned e = 0; e < opt.engines; ++e)
+        opt.engine_descriptors.push_back(device::EngineDescriptor{
+            .backend = opt.backend,
+            .mode = opt.device_mode,
+            .threads = opt.device_threads,
+            .numa_node = static_cast<int>(e % nodes.size())});
+    }
     opt.coalesce = !cli.get_flag("no-coalesce");
     opt.coalesce_limit =
         static_cast<std::size_t>(cli.get_int("coalesce-limit"));

@@ -5,7 +5,7 @@
 #include <utility>
 #include <vector>
 
-#include "core/relabel_policy.hpp"
+#include "core/g_pr_internal.hpp"
 #include "device/scan.hpp"
 #include "util/timer.hpp"
 
@@ -16,186 +16,14 @@ namespace {
 using matching::kUnmatchable;
 using matching::kUnmatched;
 
-/// The matching invariant's activity test (DESIGN.md D3): a column is
-/// active iff it is unmatched or its match was stolen.  Only evaluated by
-/// the thread owning v (within kernels) or between launches, so its two
-/// loads cannot race with this thread's own writes.
-inline bool is_active_column(const DeviceState& st, index_t v) {
-  const index_t mu_v = st.mu_col.load(static_cast<std::size_t>(v));
-  if (mu_v == kUnmatched) return true;
-  if (mu_v < 0) return false;  // kUnmatchable
-  return st.mu_row.load(static_cast<std::size_t>(mu_v)) != v;
-}
-
-/// Γ(v) scan of every push kernel: the minimum-ψ row, with the paper's
-/// early exit at the infimum ψ(v) − 1 (neighborhood invariant).
-struct MinScan {
-  index_t psi_min;
-  index_t u_min;
-  std::int64_t scanned;  ///< adjacency entries inspected (device model work)
-};
-
-/// Flat-slice form: scans `adj[0, degree)` directly.  The balanced
-/// frontier caches each active column's CSR slice start so its push
-/// kernel reads the adjacency without resolving `col_ptr` again.
-inline MinScan scan_min_row(const index_t* adj, std::int64_t degree,
-                            const DeviceState& st, index_t psi_v,
-                            index_t psi_inf) {
-  MinScan r{psi_inf, kUnmatched, 0};
-  for (std::int64_t e = 0; e < degree; ++e) {
-    const index_t u = adj[e];
-    ++r.scanned;
-    const index_t pu = st.psi_row.load(static_cast<std::size_t>(u));
-    if (pu < r.psi_min) {
-      r.psi_min = pu;
-      r.u_min = u;
-      if (r.psi_min == psi_v - 1) break;
-    }
-  }
-  return r;
-}
-
-inline MinScan scan_min_row(const BipartiteGraph& g, const DeviceState& st,
-                            index_t v, index_t psi_v, index_t psi_inf) {
-  const std::span<const index_t> nb = g.col_neighbors(v);
-  return scan_min_row(nb.data(), static_cast<std::int64_t>(nb.size()), st,
-                      psi_v, psi_inf);
-}
-
-/// G-PR-SHRKRNL's stream-compaction shape, shared by the shrink driver and
-/// the balanced frontier (paper §III-C2): per-worker survivor counting
-/// into cache-line-padded tallies, a serial prefix over the (tiny) worker
-/// counts, then per-worker writes into private output regions.
-/// `resolve(i)` names slot i's surviving column or −1; `prepare(total)`
-/// sizes the outputs between the passes; `emit(out, v)` stores survivor
-/// `v` at dense index `out` (each index written by exactly one worker).
-/// Returns the survivor count.  Two `launch_chunked` launches; the model
-/// work is charged by the caller.
-template <typename Resolve, typename Prepare, typename Emit>
-std::int64_t compact_survivors(device::Device& dev, std::int64_t len,
-                               Resolve&& resolve, Prepare&& prepare,
-                               Emit&& emit) {
-  std::vector<device::PaddedCount> tallies(dev.num_workers());
-  dev.launch_chunked(len, [&](unsigned w, std::int64_t begin,
-                              std::int64_t end) {
-    std::int64_t count = 0;
-    for (std::int64_t i = begin; i < end; ++i)
-      if (resolve(i) != -1) ++count;
-    tallies[w].value = count;
-  });
-  std::vector<std::int64_t> counts(dev.num_workers() + 1, 0);
-  for (std::size_t w = 0; w < tallies.size(); ++w)
-    counts[w + 1] = counts[w] + tallies[w].value;
-  prepare(counts.back());
-  dev.launch_chunked(len, [&](unsigned w, std::int64_t begin,
-                              std::int64_t end) {
-    std::int64_t out = counts[w];
-    for (std::int64_t i = begin; i < end; ++i) {
-      const index_t v = resolve(i);
-      if (v != -1) emit(out++, v);
-    }
-  });
-  return counts.back();
-}
-
-std::int64_t loop_bound(const BipartiteGraph& g, const GprOptions& options) {
-  if (options.max_loops == 0) return INT64_MAX;
-  if (options.max_loops > 0) return options.max_loops;
-  return 64 * static_cast<std::int64_t>(g.psi_infinity()) + 1024;
-}
-
-[[noreturn]] void loop_bound_exceeded() {
-  throw std::runtime_error(
-      "g_pr: loop bound exceeded — termination regression (see DESIGN.md D8)");
-}
-
-/// Schedules global relabels for both drivers: synchronous G-GR calls, or
-/// — with options.concurrent_global_relabel — the stream-overlapped
-/// shadow relabel for every non-initial one (the initial relabel stays
-/// synchronous; the paper found exact labels before the first push kernel
-/// critical).  Returns true when fresh labels were published this loop
-/// (the active-list driver uses that as its shrink trigger).
-class RelabelScheduler {
- public:
-  RelabelScheduler(const BipartiteGraph& g, const GprOptions& options)
-      : options_(options), async_(g.num_rows(), g.num_cols()) {
-    iter_gr_ = options.initial_global_relabel
-                   ? 0
-                   : next_global_relabel_loop(options, /*max_level=*/8, 0);
-  }
-
-  bool on_loop(device::Device& dev, const BipartiteGraph& g, DeviceState& st,
-               std::int64_t loop, GprStats& stats, Timer& timer) {
-    bool published = false;
-    const bool overlap =
-        options_.concurrent_global_relabel && stats.global_relabels > 0;
-    if (!overlap) {
-      if (loop == iter_gr_) {
-        timer.restart();
-        const GrResult gr = g_gr(dev, g, st);
-        stats.gr_ms += timer.elapsed_ms();
-        ++stats.global_relabels;
-        stats.gr_level_kernels += gr.level_kernels;
-        max_level_ = gr.max_level;
-        stats.last_max_level = max_level_;
-        iter_gr_ = next_global_relabel_loop(options_, max_level_, loop);
-        published = true;
-      }
-      return published;
-    }
-    timer.restart();
-    if (loop >= iter_gr_ && !async_.running()) {
-      if (dirty_completions_ >= kMaxDirtyRetries) {
-        // Contention keeps invalidating the snapshots; pay for one
-        // synchronous relabel to guarantee fresh labels.
-        const GrResult gr = g_gr(dev, g, st);
-        ++stats.global_relabels;
-        stats.gr_level_kernels += gr.level_kernels;
-        max_level_ = gr.max_level;
-        stats.last_max_level = max_level_;
-        iter_gr_ = next_global_relabel_loop(options_, max_level_, loop);
-        dirty_completions_ = 0;
-        stats.gr_ms += timer.elapsed_ms();
-        return true;
-      }
-      st.mu_dirty.reset();
-      async_.start(dev, g, st);
-      ++stats.concurrent_relabels;
-    }
-    if (async_.running()) {
-      ++stats.gr_level_kernels;
-      if (async_.step(dev, g)) {
-        if (st.mu_dirty.is_raised()) {
-          // Pushes rewired the matching mid-flight: the snapshot labels
-          // may over-estimate and must be discarded (see
-          // AsyncGlobalRelabel's contract).  Retry with a fresh snapshot
-          // on the next loop.
-          ++stats.async_discarded;
-          ++dirty_completions_;
-        } else {
-          async_.apply(dev, g, st);
-          ++stats.global_relabels;
-          max_level_ = async_.max_level();
-          stats.last_max_level = max_level_;
-          iter_gr_ = next_global_relabel_loop(options_, max_level_, loop);
-          dirty_completions_ = 0;
-          published = true;
-        }
-      }
-    }
-    stats.gr_ms += timer.elapsed_ms();
-    return published;
-  }
-
- private:
-  static constexpr int kMaxDirtyRetries = 2;
-
-  const GprOptions& options_;
-  AsyncGlobalRelabel async_;
-  std::int64_t iter_gr_ = 0;
-  index_t max_level_ = 0;
-  int dirty_completions_ = 0;
-};
+using detail::BalancedFrontier;
+using detail::compact_survivors;
+using detail::is_active_column;
+using detail::loop_bound;
+using detail::loop_bound_exceeded;
+using detail::MinScan;
+using detail::RelabelScheduler;
+using detail::scan_min_row;
 
 /// Variant kFirst — Algorithm 6 driven by Algorithm 3.
 void run_first(device::Device& dev, const BipartiteGraph& g, DeviceState& st,
@@ -404,8 +232,11 @@ void run_active_list(device::Device& dev, const BipartiteGraph& g,
 ///    balanced_offsets) feeds Device::launch_balanced, which partitions
 ///    the frontier's *edges* rather than its columns into equal chunks —
 ///    a high-degree hub column no longer serializes a chunk that also
-///    holds an equal share of every other column (Hsieh et al.,
-///    arXiv:2404.00270).
+///    holds an equal share of everything else (Hsieh et al.,
+///    arXiv:2404.00270);
+///  * columns whose degree exceeds the intra-item min-combine grain are
+///    additionally split *within* the launch (detail::balanced_push), so
+///    one hub column no longer bounds the critical path either.
 void run_balanced(device::Device& dev, const BipartiteGraph& g,
                   DeviceState& st, const GprOptions& options, GprStats& stats,
                   GprObserver* observer) {
@@ -414,27 +245,23 @@ void run_balanced(device::Device& dev, const BipartiteGraph& g,
   const std::vector<graph::offset_t>& col_ptr = g.col_ptr();
   const index_t* col_adj = g.col_adj().data();
 
-  // Previous loop's frontier (the pushers — the Ap role) and its push
+  // `f` holds the current pushers (the Ap role) and `displaced` their push
   // outputs (displaced columns or −1 — the Ac role), slot-parallel.
   // Plain vectors: each slot has exactly one writer per launch and the
   // launch barrier publishes the writes to the next loop's kernels.
-  std::vector<index_t> cols;
+  BalancedFrontier f, next;
   for (index_t v = 0; v < g.num_cols(); ++v)
     if (st.mu_col.load(static_cast<std::size_t>(v)) == kUnmatched)
-      cols.push_back(v);
-  std::vector<index_t> displaced(cols.size(), kUnmatched);
+      f.cols.push_back(v);
+  std::vector<index_t> displaced(f.cols.size(), kUnmatched);
 
-  // Dense frontier SoA, rebuilt by the compaction each loop.
-  std::vector<index_t> f_cols, f_psi;
-  std::vector<graph::offset_t> f_adj_begin;
-  std::vector<std::int64_t> f_degree;
   device::relaxed_vector<index_t> i_a(static_cast<std::size_t>(g.num_cols()),
                                       -1);
 
   std::int64_t loop = 0;
   RelabelScheduler relabels(g, options);
   Timer timer;
-  auto len = static_cast<std::int64_t>(cols.size());
+  std::int64_t len = f.size();
   stats.active_peak = static_cast<index_t>(len);
 
   while (len > 0) {
@@ -448,24 +275,18 @@ void run_balanced(device::Device& dev, const BipartiteGraph& g,
     const std::int64_t total = compact_survivors(
         dev, len,
         [&](std::int64_t i) -> index_t {
-          const index_t v_prev = cols[static_cast<std::size_t>(i)];
+          const index_t v_prev = f.cols[static_cast<std::size_t>(i)];
           if (v_prev != -1 && is_active_column(st, v_prev)) return v_prev;
           return displaced[static_cast<std::size_t>(i)];
         },
-        [&](std::int64_t survivors) {
-          const auto sz = static_cast<std::size_t>(survivors);
-          f_cols.assign(sz, -1);
-          f_psi.assign(sz, 0);
-          f_adj_begin.assign(sz, 0);
-          f_degree.assign(sz, 0);
-        },
+        [&](std::int64_t survivors) { next.resize_for(survivors); },
         [&](std::int64_t out, index_t v) {
           const auto oz = static_cast<std::size_t>(out);
           const auto vz = static_cast<std::size_t>(v);
-          f_cols[oz] = v;
-          f_psi[oz] = st.psi_col.load(vz);
-          f_adj_begin[oz] = col_ptr[vz];
-          f_degree[oz] =
+          next.cols[oz] = v;
+          next.psi[oz] = st.psi_col.load(vz);
+          next.adj_begin[oz] = col_ptr[vz];
+          next.degree[oz] =
               static_cast<std::int64_t>(col_ptr[vz + 1] - col_ptr[vz]);
           i_a.store(vz, loop_stamp);
         });
@@ -484,48 +305,13 @@ void run_balanced(device::Device& dev, const BipartiteGraph& g,
       break;
     }
 
-    // Degree prefix sum for the edge-balanced partition (device scan).
-    const std::vector<std::int64_t> offsets =
-        device::balanced_offsets(dev, f_degree);
-    dev.charge_work(2 * len);  // the scan's two passes over the degrees
-
-    cols.swap(f_cols);  // frontier becomes this loop's pusher buffer
+    f.swap(next);  // the fresh frontier becomes this loop's pusher buffer
     displaced.assign(static_cast<std::size_t>(len), kUnmatched);
 
-    // --- edge-balanced push (PUSHKRNL over the dense frontier) ----------
-    dev.launch_balanced(offsets, [&](std::int64_t i) -> std::int64_t {
-      const auto iz = static_cast<std::size_t>(i);
-      const index_t v = cols[iz];
-      const index_t psi_v = f_psi[iz];
-      const MinScan r = scan_min_row(col_adj + f_adj_begin[iz], f_degree[iz],
-                                     st, psi_v, psi_inf);
-      std::int64_t work = r.scanned;
-      if (r.psi_min < psi_inf) {
-        // Capture the displaced column *before* overwriting µ(u)
-        // (DESIGN.md D4); w == −1 encodes a single push.
-        const index_t w = st.mu_row.load(static_cast<std::size_t>(r.u_min));
-        ++work;  // µ(u) gather
-        if (w == kUnmatched ||
-            i_a.load(static_cast<std::size_t>(w)) != loop_stamp) {
-          if (w != kUnmatched) ++work;  // iA(µ(u)) gather
-          st.mu_row.store(static_cast<std::size_t>(r.u_min), v);
-          st.mu_col.store(static_cast<std::size_t>(v), r.u_min);
-          st.psi_col.store(static_cast<std::size_t>(v), r.psi_min + 1);
-          st.psi_row.store(static_cast<std::size_t>(r.u_min), r.psi_min + 2);
-          st.mu_dirty.raise();
-          displaced[iz] = w;
-          work += 2;  // scattered µ(u), ψ(u) writes
-        }
-        // else: µ(u)'s holder is active this loop — pushing would let one
-        // column enter the frontier twice.  The pusher stays active, so
-        // the next compaction rolls it back.
-      } else {
-        st.mu_col.store(static_cast<std::size_t>(v), kUnmatchable);
-        // The pusher goes inactive with no displaced column: the slot
-        // dies at the next resolve.
-      }
-      return work;
-    });
+    // --- edge-balanced push (with intra-item min-combine) ---------------
+    detail::balanced_push(dev, col_adj, st, f, i_a, loop_stamp, psi_inf,
+                          options.split_grain, displaced,
+                          /*pushed_row=*/nullptr, stats);
     stats.push_ms += timer.elapsed_ms();
     if (observer) observer->on_loop_end(loop, st);
     if (++loop > max_loops) loop_bound_exceeded();
@@ -594,22 +380,8 @@ GprResult g_pr(device::Device& dev, const BipartiteGraph& g,
     }
   }
 
-  // FIXMATCHING: repair the benign column-side inconsistencies; row
-  // matchings are authoritative and already correct.
   Timer fix;
-  dev.launch_accounted(g.num_cols(), [&](std::int64_t i) -> std::int64_t {
-    const auto vz = static_cast<std::size_t>(i);
-    const index_t u = st.mu_col.load(vz);
-    if (u < 0) {
-      st.mu_col.store(vz, kUnmatched);
-      return 0;
-    }
-    if (st.mu_row.load(static_cast<std::size_t>(u)) !=
-        static_cast<index_t>(i)) {
-      st.mu_col.store(vz, kUnmatched);
-    }
-    return 1;  // µ(µ(v)) gather
-  });
+  detail::fix_matching(dev, g, st);
 
   result.matching.row_match = st.mu_row.to_host();
   result.matching.col_match = st.mu_col.to_host();

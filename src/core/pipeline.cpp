@@ -43,7 +43,8 @@ AdmittedJobResult run_admitted_job(
   }
   Timer timer;
   const SolveContext ctx{.device = &stream(),
-                         .threads = options.solver_threads};
+                         .threads = options.solver_threads,
+                         .engines = options.engines};
   out.outcome = run_verified(*job.solver, ctx, inst.graph, inst.init,
                              options.verify ? inst.maximum_cardinality : -1);
   out.solve_ms = timer.elapsed_ms();

@@ -54,6 +54,11 @@ struct PipelineOptions {
   /// How the shared init is built; defaults to the paper's cheap greedy
   /// heuristic (set e.g. matching::karp_sipser for a stronger start).
   std::function<matching::Matching(const graph::BipartiteGraph&)> init_builder;
+  /// Engine fleet handed to every job's `SolveContext::engines`: sharded
+  /// solvers (`g-pr-sh`, `shards=K|auto`) spread one massive instance over
+  /// these engines, one shard per engine round-robin.  Empty (the default)
+  /// lets sharded jobs fall back to the job's own stream engine.
+  std::vector<std::shared_ptr<device::Engine>> engines;
 };
 
 /// One graph admitted to the batch, with everything that is computed once

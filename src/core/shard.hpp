@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/g_pr.hpp"
+#include "core/options.hpp"
+#include "device/device.hpp"
+#include "graph/bipartite_graph.hpp"
+#include "matching/matching.hpp"
+
+namespace bpm::gpu {
+
+/// Top-level column shard cut of one instance: K contiguous, edge-balanced
+/// column ranges (the `device::balanced_partition` machinery applied to
+/// the column CSR's own prefix sum), each owning its CSR slice and
+/// column-side state while the row-side arrays stay shared.
+struct ShardPlan {
+  std::vector<index_t> col_begin;        ///< K+1 column boundaries
+  std::vector<std::int64_t> edge_begin;  ///< K+1 edge offsets at the cuts
+
+  [[nodiscard]] int shards() const {
+    return static_cast<int>(col_begin.size()) - 1;
+  }
+  [[nodiscard]] index_t cols(int k) const {
+    return col_begin[static_cast<std::size_t>(k) + 1] -
+           col_begin[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] std::int64_t edges(int k) const {
+    return edge_begin[static_cast<std::size_t>(k) + 1] -
+           edge_begin[static_cast<std::size_t>(k)];
+  }
+
+  /// Which shard owns column v (binary search over the cut).
+  [[nodiscard]] int owner(index_t v) const;
+
+  /// Shard k's resident column-side bytes: its CSR slice (adjacency +
+  /// pointers) plus its µ/ψ/iA column state.  The shared row-side arrays
+  /// are deliberately excluded — they exist once, not per shard.
+  [[nodiscard]] std::size_t shard_bytes(int k) const;
+};
+
+/// Cuts `g`'s columns into `shards` edge-balanced contiguous ranges.
+/// `shards` is clamped to the column count; shard 0 is never empty when
+/// the graph has any edge (the ceil-target guarantee of
+/// `balanced_partition`).  Throws on `shards < 1`.
+[[nodiscard]] ShardPlan shard_columns(const BipartiteGraph& g, int shards);
+
+/// The shard count a solve actually uses: `requested` verbatim when ≥ 1;
+/// otherwise (auto) one shard per engine, doubled until every shard's
+/// resident bytes (`ShardPlan::shard_bytes`) fit the tightest positive
+/// engine memory budget — so one massive instance is served without any
+/// shard exceeding one engine's budget.  Always in [1, num_cols].
+[[nodiscard]] int resolve_shard_count(
+    const BipartiteGraph& g, int requested,
+    std::span<const std::shared_ptr<device::Engine>> engines);
+
+/// Sharded G-PR (`g-pr-sh`, or `shards=K|auto` on any G-PR spec): the
+/// instance's columns are cut into K edge-balanced shards, each driven by
+/// its own `device::Device` stream — across the given engines round-robin
+/// — through barrier-synchronised rounds of the workload-balanced push
+/// (with intra-item min-combine), over ONE shared `DeviceState`.
+///
+/// Cross-shard interactions reduce to the paper's benign races plus one
+/// reconciliation pass per round:
+///  * rows pushed onto by more than one shard in a round are resolved by
+///    a deterministic min-combine (lowest column id wins; the claims go
+///    through the codebase's single atomic RMW, `relaxed_cell::store_min`)
+///    and the losers re-enter their shard's frontier;
+///  * columns displaced across a shard boundary are routed to their owner
+///    shard's next-round frontier through per-shard outboxes the
+///    coordinator drains between rounds (dropping them would silently
+///    lose cardinality);
+///  * global relabels run synchronously on the whole graph between rounds
+///    — shard-local relabels are UNSOUND (a BFS restricted to one shard's
+///    columns over-estimates alternating distances and wrongly retires
+///    matchable columns, the exact hazard documented on
+///    `AsyncGlobalRelabel`), so `concurrent_global_relabel` is forced off.
+///
+/// Rounds iterate until no shard has an active column and no cross-shard
+/// transfer is in flight; the result is verified by the same oracle as
+/// every other solver.  Column-side state is first-touch allocated on
+/// each shard's engine arena (`device::EngineArena`), so NUMA-pinned
+/// engines keep their shard's pages socket-local.
+///
+/// `engines` must be non-empty; shard k runs on `engines[k % size]`.
+/// `options.shards` selects K (0 = auto); `options.shard_drivers` picks
+/// sequential or parallel shard driver threads.
+GprResult g_pr_sharded(
+    std::span<const std::shared_ptr<device::Engine>> engines,
+    const BipartiteGraph& g, const matching::Matching& init,
+    const GprOptions& options = {});
+
+}  // namespace bpm::gpu

@@ -116,6 +116,12 @@ struct EngineDescriptor {
   /// runtime applies); lower it to force fan-out on tiny grids (the TSan
   /// tests do).
   std::int64_t host_grain = 16384;
+  /// NUMA node this engine is pinned to (-1 = unpinned).  A pinned host
+  /// engine builds its pool with the node's CPU list (`numa_topology`),
+  /// so worker threads — and every page they first-touch through an
+  /// `EngineArena` — stay on that node's socket.  Routing hints only on
+  /// non-Linux platforms and sim engines.
+  int numa_node = -1;
 
   /// One-line human-readable form, e.g. "host(workers=8)" or
   /// "sim(lanes=448)".
@@ -162,6 +168,13 @@ struct alignas(64) PaddedLaneTally {
 /// non-exclusive-prefix `offsets` span or `parts < 1`.
 [[nodiscard]] std::vector<std::int64_t> balanced_partition(
     std::span<const std::int64_t> offsets, std::int64_t parts);
+
+/// CPU ids per NUMA node, parsed from `/sys/devices/system/node/node*/
+/// cpulist` (Linux).  Always returns at least one node: machines without
+/// the sysfs tree (or non-Linux builds) report a single node holding every
+/// CPU id `[0, hardware_concurrency)`.  This is what `EngineGroup` callers
+/// use to spread engine descriptors' `numa_node` hints across sockets.
+[[nodiscard]] std::vector<std::vector<int>> numa_topology();
 
 /// Lifetime aggregates of one engine: how many streams it has served and
 /// the launch/model totals those streams retired into it.  This is the
@@ -327,6 +340,11 @@ class Device {
   [[nodiscard]] unsigned num_workers() const { return engine_->num_workers(); }
   [[nodiscard]] std::uint64_t launches() const { return launches_; }
   void reset_launch_count() { launches_ = 0; }
+
+  /// The stream's timing model — read-only; drivers that pre-split work
+  /// host-side (the intra-item min-combine) size their fragments from
+  /// `model().lanes` so the split matches what the model charges.
+  [[nodiscard]] const DeviceModel& model() const { return model_; }
 
   /// Modeled device time accumulated on this stream (see DeviceModel).
   /// Kernels that report their work via `launch_accounted` contribute

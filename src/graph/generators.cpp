@@ -311,6 +311,66 @@ BipartiteGraph copaper(index_t num_vertices, index_t num_communities,
   return build_from_edges(num_vertices, num_vertices, edges);
 }
 
+BipartiteGraph huge_bipartite(index_t num_rows, index_t num_cols,
+                              double avg_degree, double hub_fraction,
+                              index_t hub_every, std::uint64_t seed) {
+  require(num_rows > 0 && num_cols > 0, "huge_bipartite: empty side");
+  require(avg_degree >= 0.0, "huge_bipartite: negative degree");
+  require(hub_fraction >= 0.0 && hub_fraction <= 1.0,
+          "huge_bipartite: hub_fraction must be in [0, 1]");
+  require(hub_every >= 0, "huge_bipartite: negative hub_every");
+  Rng rng(seed);
+
+  const auto base = static_cast<offset_t>(avg_degree);
+  const auto hub_degree = static_cast<offset_t>(
+      hub_fraction * static_cast<double>(num_rows));
+
+  // Column pass: sample each column's neighbours straight into the column
+  // CSR.  `scratch` (one column's samples) is the only transient — no
+  // global edge list ever exists.
+  std::vector<offset_t> col_ptr;
+  col_ptr.reserve(static_cast<std::size_t>(num_cols) + 1);
+  col_ptr.push_back(0);
+  std::vector<index_t> col_adj;
+  col_adj.reserve(static_cast<std::size_t>(
+      static_cast<offset_t>(num_cols) * base +
+      (hub_every > 0 ? (static_cast<offset_t>(num_cols) / hub_every + 1) *
+                           hub_degree
+                     : 0)));
+  std::vector<index_t> scratch;
+  for (index_t v = 0; v < num_cols; ++v) {
+    const bool hub = hub_every > 0 && v % hub_every == 0;
+    const offset_t want = base + (hub ? hub_degree : 0);
+    scratch.clear();
+    scratch.reserve(static_cast<std::size_t>(want));
+    for (offset_t e = 0; e < want; ++e)
+      scratch.push_back(static_cast<index_t>(
+          rng.below(static_cast<std::uint64_t>(num_rows))));
+    std::sort(scratch.begin(), scratch.end());
+    scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+    col_adj.insert(col_adj.end(), scratch.begin(), scratch.end());
+    col_ptr.push_back(static_cast<offset_t>(col_adj.size()));
+  }
+  col_adj.shrink_to_fit();
+
+  // Row pass: counting sort of the column CSR.  Walking columns in
+  // ascending order writes each row's neighbours already sorted.
+  std::vector<offset_t> row_ptr(static_cast<std::size_t>(num_rows) + 1, 0);
+  for (const index_t u : col_adj) ++row_ptr[static_cast<std::size_t>(u) + 1];
+  for (std::size_t u = 0; u < static_cast<std::size_t>(num_rows); ++u)
+    row_ptr[u + 1] += row_ptr[u];
+  std::vector<index_t> row_adj(col_adj.size());
+  std::vector<offset_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  for (index_t v = 0; v < num_cols; ++v)
+    for (offset_t e = col_ptr[static_cast<std::size_t>(v)];
+         e < col_ptr[static_cast<std::size_t>(v) + 1]; ++e) {
+      const auto u = static_cast<std::size_t>(col_adj[static_cast<std::size_t>(e)]);
+      row_adj[static_cast<std::size_t>(cursor[u]++)] = v;
+    }
+  return {num_rows, num_cols, std::move(row_ptr), std::move(row_adj),
+          std::move(col_ptr), std::move(col_adj)};
+}
+
 BipartiteGraph complete_bipartite(index_t m, index_t n) {
   require(m >= 0 && n >= 0, "complete_bipartite: negative dimension");
   std::vector<Edge> edges;

@@ -105,6 +105,23 @@ namespace bpm::graph::gen {
                                      index_t num_communities,
                                      double avg_community, std::uint64_t seed);
 
+/// Massive-instance generator for shard scaling: ~`avg_degree` random
+/// rows per column, plus a hub column every `hub_every` columns with
+/// ~`hub_fraction · num_rows` neighbours (0 disables hubs).  Unlike the
+/// other generators there is NO intermediate edge list: columns are
+/// sampled one at a time straight into the column CSR (a per-column
+/// scratch buffer is the only transient), and the row CSR is derived by a
+/// counting pass — peak memory is the final graph plus O(max degree), so
+/// instances ~10x the rest of the suite build without a memory spike.
+/// Hubs stay on their natural ids (no scatter permutation — permuting
+/// would materialise an edge list again); the shard cut still spreads
+/// them because they recur every `hub_every` columns.
+[[nodiscard]] BipartiteGraph huge_bipartite(index_t num_rows, index_t num_cols,
+                                            double avg_degree,
+                                            double hub_fraction,
+                                            index_t hub_every,
+                                            std::uint64_t seed);
+
 // --- Deterministic shapes for tests and examples ---------------------------
 
 /// Complete bipartite K_{m,n}.

@@ -111,6 +111,42 @@ TEST(Generators, SkewedHubsDegreeDistribution) {
   EXPECT_LT(low_id_hubs, kHubs);
 }
 
+TEST(Generators, HugeBipartiteStreamedCsrIsValidAndDeterministic) {
+  const BipartiteGraph a = huge_bipartite(900, 1000, 4.0, 0.2, 100, 5);
+  const BipartiteGraph b = huge_bipartite(900, 1000, 4.0, 0.2, 100, 5);
+  EXPECT_EQ(a.num_rows(), 900);
+  EXPECT_EQ(a.num_cols(), 1000);
+  EXPECT_EQ(a.col_adj(), b.col_adj());
+  EXPECT_EQ(a.row_adj(), b.row_adj());
+  a.validate();  // sorted, deduplicated, both CSR directions consistent
+  EXPECT_NE(a.col_adj(), huge_bipartite(900, 1000, 4.0, 0.2, 100, 6).col_adj());
+  // Hubs land every hub_every columns at ~hub_fraction * rows neighbours;
+  // background columns stay near avg_degree.
+  const auto hub_target = static_cast<index_t>(0.2 * 900);
+  for (index_t v = 0; v < a.num_cols(); v += 100) {
+    EXPECT_GT(a.col_degree(v), hub_target / 2) << "hub " << v;
+    EXPECT_LE(a.col_degree(v), hub_target + 4) << "hub " << v;
+  }
+  EXPECT_LT(a.col_degree(1), 10);
+  // The two CSR directions describe the same edge set.
+  EXPECT_EQ(a.num_edges(), static_cast<graph::offset_t>(a.row_adj().size()));
+}
+
+TEST(Generators, HugeBipartiteNoHubsAndRejectsBadParameters) {
+  const BipartiteGraph flat = huge_bipartite(500, 600, 5.0, 0.0, 0, 3);
+  flat.validate();
+  index_t max_deg = 0;
+  for (index_t v = 0; v < flat.num_cols(); ++v)
+    max_deg = std::max(max_deg, flat.col_degree(v));
+  EXPECT_LE(max_deg, 5);
+  EXPECT_THROW(huge_bipartite(0, 10, 1.0, 0.0, 0, 1), std::invalid_argument);
+  EXPECT_THROW(huge_bipartite(10, 10, -1.0, 0.0, 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(huge_bipartite(10, 10, 1.0, 1.5, 2, 1), std::invalid_argument);
+  EXPECT_THROW(huge_bipartite(10, 10, 1.0, 0.5, -1, 1),
+               std::invalid_argument);
+}
+
 TEST(Generators, SkewedHubsRejectsBadParameters) {
   EXPECT_THROW(skewed_hubs(0, 10, 1, 0.5, 1.0, 1), std::invalid_argument);
   EXPECT_THROW(skewed_hubs(10, 10, 11, 0.5, 1.0, 1), std::invalid_argument);

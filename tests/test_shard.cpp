@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/shard.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "matching/greedy.hpp"
+#include "matching/verify.hpp"
+
+namespace bpm::gpu {
+namespace {
+
+using device::Backend;
+using device::Engine;
+using device::EngineDescriptor;
+using device::ExecMode;
+using device::HostParallelEngine;
+using graph::BipartiteGraph;
+using graph::index_t;
+namespace gen = graph::gen;
+
+using Engines = std::vector<std::shared_ptr<Engine>>;
+
+Engines sim_engines(int count, unsigned threads = 2) {
+  Engines engines;
+  for (int i = 0; i < count; ++i)
+    engines.push_back(std::make_shared<Engine>(EngineDescriptor{
+        .backend = Backend::kSim,
+        .mode = ExecMode::kConcurrent,
+        .threads = threads}));
+  return engines;
+}
+
+Engines host_engines(int count, unsigned threads = 2,
+                     std::int64_t host_grain = 16384) {
+  Engines engines;
+  for (int i = 0; i < count; ++i)
+    engines.push_back(std::make_shared<HostParallelEngine>(EngineDescriptor{
+        .mode = ExecMode::kConcurrent,
+        .threads = threads,
+        .host_grain = host_grain}));
+  return engines;
+}
+
+// --- ShardPlan ------------------------------------------------------------
+
+TEST(ShardPlan, CoversEveryColumnContiguously) {
+  const BipartiteGraph g = gen::random_uniform(60, 90, 400, 1);
+  for (const int k : {1, 2, 3, 7, 16}) {
+    const ShardPlan plan = shard_columns(g, k);
+    ASSERT_EQ(plan.shards(), k);
+    EXPECT_EQ(plan.col_begin.front(), 0);
+    EXPECT_EQ(plan.col_begin.back(), g.num_cols());
+    EXPECT_EQ(plan.edge_begin.front(), 0);
+    EXPECT_EQ(plan.edge_begin.back(), g.num_edges());
+    for (int s = 0; s < k; ++s) {
+      EXPECT_LE(plan.col_begin[static_cast<std::size_t>(s)],
+                plan.col_begin[static_cast<std::size_t>(s) + 1]);
+      for (index_t v = plan.col_begin[static_cast<std::size_t>(s)];
+           v < plan.col_begin[static_cast<std::size_t>(s) + 1]; ++v)
+        EXPECT_EQ(plan.owner(v), s);
+    }
+  }
+}
+
+TEST(ShardPlan, EdgeBalanceWithinOneMaxDegree) {
+  const BipartiteGraph g = gen::skewed_hubs(200, 300, 4, 0.4, 2.0, 3);
+  std::int64_t max_degree = 0;
+  for (index_t v = 0; v < g.num_cols(); ++v)
+    max_degree = std::max<std::int64_t>(max_degree, g.col_degree(v));
+  const int k = 5;
+  const ShardPlan plan = shard_columns(g, k);
+  const std::int64_t ideal = g.num_edges() / k;
+  for (int s = 0; s < k; ++s)
+    EXPECT_LE(plan.edges(s), ideal + max_degree + 1) << "shard " << s;
+}
+
+TEST(ShardPlan, FirstShardNonEmptyAndClampedToColumns) {
+  // More shards than columns: clamped, and the leading shard still owns
+  // work (the balanced_partition ceil-target guarantee).
+  const BipartiteGraph g =
+      graph::build_from_edges(2, 2, std::vector<graph::Edge>{{0, 0}, {1, 1}});
+  const ShardPlan plan = shard_columns(g, 64);
+  EXPECT_EQ(plan.shards(), 2);
+  EXPECT_GT(plan.edges(0), 0);
+  EXPECT_THROW(shard_columns(g, 0), std::invalid_argument);
+}
+
+TEST(ShardPlan, ShardBytesCountColumnSideOnly) {
+  const BipartiteGraph g = gen::random_uniform(50, 80, 300, 9);
+  const ShardPlan plan = shard_columns(g, 4);
+  std::size_t total = 0;
+  for (int s = 0; s < plan.shards(); ++s) total += plan.shard_bytes(s);
+  // Adjacency appears exactly once across shards; pointer slices add one
+  // boundary entry each.
+  const std::size_t floor_bytes =
+      static_cast<std::size_t>(g.num_edges()) * sizeof(index_t);
+  EXPECT_GT(total, floor_bytes);
+  EXPECT_LT(total, floor_bytes + static_cast<std::size_t>(g.num_cols() + 8) *
+                                     32);
+}
+
+// --- resolve_shard_count --------------------------------------------------
+
+TEST(ResolveShardCount, RequestedVerbatimAndClamped) {
+  const BipartiteGraph g = gen::random_uniform(30, 40, 150, 2);
+  const Engines engines = sim_engines(2);
+  EXPECT_EQ(resolve_shard_count(g, 3, engines), 3);
+  EXPECT_EQ(resolve_shard_count(g, 1, engines), 1);
+  EXPECT_EQ(resolve_shard_count(g, 1000, engines), g.num_cols());
+}
+
+TEST(ResolveShardCount, AutoFollowsEngineCount) {
+  const BipartiteGraph g = gen::random_uniform(30, 40, 150, 2);
+  EXPECT_EQ(resolve_shard_count(g, 0, sim_engines(1)), 1);
+  EXPECT_EQ(resolve_shard_count(g, 0, sim_engines(4)), 4);
+}
+
+TEST(ResolveShardCount, AutoGrowsUntilShardsFitEngineBudget) {
+  const BipartiteGraph g = gen::random_uniform(200, 200, 2000, 5);
+  // A budget of roughly a quarter of the instance's column-side bytes
+  // forces auto-K past the engine count.
+  const ShardPlan one = shard_columns(g, 1);
+  Engines engines = sim_engines(2);
+  EngineDescriptor tight{.backend = Backend::kSim,
+                         .mode = ExecMode::kConcurrent,
+                         .threads = 1};
+  tight.memory_budget = one.shard_bytes(0) / 4;
+  engines.push_back(std::make_shared<Engine>(tight));
+  const int k = resolve_shard_count(g, 0, engines);
+  EXPECT_GT(k, 3);
+  const ShardPlan plan = shard_columns(g, k);
+  for (int s = 0; s < plan.shards(); ++s)
+    EXPECT_LE(plan.shard_bytes(s), tight.memory_budget) << "shard " << s;
+}
+
+// --- conformance ----------------------------------------------------------
+
+/// Solves with the sharded driver from empty and greedy starts and checks
+/// validity, the reference cardinality, and the Berge certificate.
+void check_sharded(const Engines& engines, const BipartiteGraph& g,
+                   const GprOptions& opt, const std::string& label) {
+  const index_t want = matching::reference_maximum_cardinality(g);
+  for (const bool greedy_start : {false, true}) {
+    const matching::Matching init =
+        greedy_start ? matching::cheap_matching(g) : matching::Matching(g);
+    const GprResult r = g_pr_sharded(engines, g, init, opt);
+    ASSERT_TRUE(r.matching.is_valid(g))
+        << label << ": " << r.matching.first_violation(g);
+    EXPECT_EQ(r.matching.cardinality(), want) << label;
+    EXPECT_TRUE(matching::is_maximum(g, r.matching)) << label;
+    if (opt.shards > 1 && g.num_cols() > 1) {
+      EXPECT_EQ(r.stats.shards, std::min<int>(opt.shards, g.num_cols()))
+          << label;
+      // A start that is not already maximum must take at least one round.
+      if (init.cardinality() < want)
+        EXPECT_GT(r.stats.shard_rounds, 0) << label;
+    }
+  }
+}
+
+std::vector<BipartiteGraph> conformance_suite() {
+  std::vector<BipartiteGraph> suite;
+  suite.push_back(gen::empty_graph(4, 6));
+  suite.push_back(
+      graph::build_from_edges(1, 1, std::vector<graph::Edge>{{0, 0}}));
+  suite.push_back(gen::star(9));
+  suite.push_back(gen::chain(64));
+  suite.push_back(gen::complete_bipartite(9, 5));
+  for (std::uint64_t seed = 0; seed < 4; ++seed)
+    suite.push_back(gen::random_uniform(70, 70, 240, seed));
+  suite.push_back(gen::random_uniform(40, 110, 300, 11));
+  suite.push_back(gen::random_uniform(110, 40, 300, 12));
+  suite.push_back(gen::chung_lu(200, 200, 3.0, 2.3, 5));
+  suite.push_back(gen::skewed_hubs(120, 160, 3, 0.5, 2.0, 7));
+  return suite;
+}
+
+using ShardConfig = std::tuple<Backend, int, ShardDrivers>;
+
+std::string shard_config_name(
+    const ::testing::TestParamInfo<ShardConfig>& info) {
+  const auto [backend, shards, drivers] = info.param;
+  std::string name = backend == Backend::kSim ? "Sim" : "Host";
+  name += "_K" + std::to_string(shards);
+  name += drivers == ShardDrivers::kSequential ? "_Seq" : "_Par";
+  return name;
+}
+
+class ShardedConfigs : public ::testing::TestWithParam<ShardConfig> {
+ protected:
+  GprOptions options() const {
+    GprOptions opt;
+    opt.shards = std::get<1>(GetParam());
+    opt.shard_drivers = std::get<2>(GetParam());
+    return opt;
+  }
+  Engines engines() const {
+    // Two engines so shards route round-robin across more than one arena;
+    // a tiny host grain forces real pool fan-out on test-sized grids.
+    return std::get<0>(GetParam()) == Backend::kSim
+               ? sim_engines(2)
+               : host_engines(2, 2, 64);
+  }
+};
+
+TEST_P(ShardedConfigs, MatchesOracleAcrossSuite) {
+  const GprOptions opt = options();
+  const Engines e = engines();
+  int i = 0;
+  for (const BipartiteGraph& g : conformance_suite())
+    check_sharded(e, g, opt, "instance " + std::to_string(i++));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ShardedConfigs,
+    ::testing::Combine(::testing::Values(Backend::kSim, Backend::kHost),
+                       ::testing::Values(1, 2, 3, 5),
+                       ::testing::Values(ShardDrivers::kSequential,
+                                         ShardDrivers::kParallel)),
+    shard_config_name);
+
+TEST(Sharded, AutoShardsUsesEveryEngine) {
+  const BipartiteGraph g = gen::random_uniform(120, 150, 700, 21);
+  GprOptions opt;
+  opt.shards = 0;  // auto
+  const Engines e = sim_engines(3);
+  const GprResult r =
+      g_pr_sharded(e, g, matching::Matching(g), opt);
+  EXPECT_EQ(r.stats.shards, 3);
+  EXPECT_TRUE(r.matching.is_valid(g));
+  EXPECT_EQ(r.matching.cardinality(),
+            matching::reference_maximum_cardinality(g));
+}
+
+TEST(Sharded, SingleShardDelegatesToUnsharded) {
+  const BipartiteGraph g = gen::random_uniform(50, 50, 200, 4);
+  GprOptions opt;
+  opt.shards = 1;
+  const GprResult r =
+      g_pr_sharded(sim_engines(1), g, matching::Matching(g), opt);
+  EXPECT_EQ(r.stats.shards, 1);
+  EXPECT_EQ(r.stats.shard_rounds, 0);
+  EXPECT_EQ(r.matching.cardinality(),
+            matching::reference_maximum_cardinality(g));
+}
+
+TEST(Sharded, RequiresAnEngine) {
+  const BipartiteGraph g = gen::chain(4);
+  GprOptions opt;
+  opt.shards = 2;
+  EXPECT_THROW(g_pr_sharded({}, g, matching::Matching(g), opt),
+               std::invalid_argument);
+}
+
+TEST(Sharded, SplitGrainCombinesWithSharding) {
+  // Hub columns exceed the forced tiny grain, so the intra-item
+  // min-combine fragments them inside each shard's push.
+  const BipartiteGraph g = gen::skewed_hubs(160, 200, 3, 0.6, 2.0, 17);
+  GprOptions opt;
+  opt.shards = 3;
+  opt.split_grain = 8;
+  const Engines e = sim_engines(2);
+  const GprResult r = g_pr_sharded(e, g, matching::Matching(g), opt);
+  EXPECT_TRUE(r.matching.is_valid(g));
+  EXPECT_EQ(r.matching.cardinality(),
+            matching::reference_maximum_cardinality(g));
+  EXPECT_GT(r.stats.split_items, 0);
+  EXPECT_GT(r.stats.split_fragments, r.stats.split_items);
+}
+
+/// The TSan target: parallel shard drivers on the host backend with a
+/// tiny dispatch grain, so reconciliation, the store_min claims, and the
+/// cross-shard mailboxes all run under real concurrency.
+TEST(ShardedStress, ParallelDriversUnderContention) {
+  GprOptions opt;
+  opt.shards = 4;
+  opt.shard_drivers = ShardDrivers::kParallel;
+  const Engines e = host_engines(2, 2, 32);
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    // Deficient skewed instances keep many columns contending for the
+    // same rows deep into the run — the conflict-heavy regime.
+    const BipartiteGraph g = gen::random_uniform(60, 100, 500, seed);
+    check_sharded(e, g, opt, "stress seed " + std::to_string(seed));
+  }
+  const BipartiteGraph hubs = gen::skewed_hubs(80, 140, 4, 0.6, 3.0, 2);
+  check_sharded(e, hubs, opt, "stress hubs");
+}
+
+}  // namespace
+}  // namespace bpm::gpu
