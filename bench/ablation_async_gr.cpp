@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
   device::Device dev({.backend = opt.backend,
                       .mode = device::ExecMode::kConcurrent,
                       .num_threads = opt.threads});
+  attach_tracer(opt, dev);
   const double launch_us = device::DeviceModel{}.launch_latency_us;
 
   bool all_ok = true;
@@ -85,5 +86,11 @@ int main(int argc, char** argv) {
          " more loops, dirty snapshots discarded).  'overlap-credit' removes"
          " the launch latency of overlapped level kernels — the upper bound"
          " of what dual-stream execution can hide (paper §V).\n";
+  try {
+    write_observability(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
   return all_ok ? 0 : 1;
 }

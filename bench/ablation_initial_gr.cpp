@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   device::Device dev({.backend = opt.backend,
                       .mode = device::ExecMode::kConcurrent,
                       .num_threads = opt.threads});
+  attach_tracer(opt, dev);
 
   bool all_ok = true;
   std::map<std::string, std::vector<double>> with_gr, without_gr;
@@ -65,5 +66,11 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected shape: ratio > 1 overall (initial GR helps), "
                "with the biggest effect where the greedy init leaves many "
                "unmatchable columns (power-law classes).\n";
+  try {
+    write_observability(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
   return all_ok ? 0 : 1;
 }

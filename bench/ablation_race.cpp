@@ -92,6 +92,7 @@ int main(int argc, char** argv) {
   std::vector<double> seq_times, conc_times;
   for (const auto& bi : suite) {
     device::Device seq_dev({.mode = device::ExecMode::kSequential});
+    attach_tracer(opt, seq_dev);
     device::Device conc_dev({.mode = device::ExecMode::kConcurrent,
                              .num_threads = opt.threads});
     const AlgoResult rs = run_solver("g-pr-shr", seq_dev, bi);
@@ -111,5 +112,11 @@ int main(int argc, char** argv) {
   std::cout << "\nNote: both devices run identical kernels; the concurrent "
                "one additionally absorbs races.  Identical results (checked) "
                "with different schedules is the paper's core claim.\n";
+  try {
+    write_observability(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
   return all_ok ? 0 : 1;
 }

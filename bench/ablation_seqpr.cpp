@@ -61,5 +61,11 @@ int main(int argc, char** argv) {
     table.print(std::cout);
   std::cout << "\nPaper: k = 0.5 was slightly better than the other tried "
                "values on their 28-graph set.\n";
+  try {
+    write_observability(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
   return all_ok ? 0 : 1;
 }

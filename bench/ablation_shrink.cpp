@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   device::Device dev({.backend = opt.backend,
                       .mode = device::ExecMode::kConcurrent,
                       .num_threads = opt.threads});
+  attach_tracer(opt, dev);
 
   struct Config {
     std::string label;
@@ -81,5 +82,11 @@ int main(int argc, char** argv) {
                "— shrinking always adds overhead on short lists, never "
                "shrinking keeps long stale lists (paper reports 2-8% gain "
                "for 512 over NoShr).\n";
+  try {
+    write_observability(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
   return all_ok ? 0 : 1;
 }

@@ -112,6 +112,7 @@ int main(int argc, char** argv) {
                  "JSON to this path (empty = off)",
                  "");
   add_algo_flag(cli, "g-pr-shr,g-pr-wb");
+  register_observability_flags(cli);
   SuiteOptions opt;
   index_t n = 0;
   int reps = 1;
@@ -124,6 +125,7 @@ int main(int argc, char** argv) {
     opt.csv = cli.get_flag("csv");
     opt.json_path = cli.get_string("json");
     opt.algos = solver_specs_from_cli(cli);
+    observability_from_cli(cli, opt);
     n = static_cast<index_t>(cli.get_int("n"));
     reps = std::max(1, static_cast<int>(cli.get_int("reps")));
     if (n < 64) throw std::invalid_argument("--n must be at least 64");
@@ -142,6 +144,7 @@ int main(int argc, char** argv) {
   device::Device dev({.backend = opt.backend,
                       .mode = device::ExecMode::kConcurrent,
                       .num_threads = opt.threads});
+  attach_tracer(opt, dev);
   std::vector<std::unique_ptr<Solver>> solvers;
   for (const auto& spec : opt.algos) solvers.push_back(spec.instantiate());
 
@@ -229,6 +232,7 @@ int main(int argc, char** argv) {
   }
   try {
     write_json(opt.json_path, "balance_skew", records, summary);
+    write_observability(opt);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

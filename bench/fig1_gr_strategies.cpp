@@ -53,6 +53,7 @@ int main(int argc, char** argv) {
   device::Device dev({.backend = opt.backend,
                       .mode = device::ExecMode::kConcurrent,
                       .num_threads = opt.threads});
+  attach_tracer(opt, dev);
 
   bool all_ok = true;
   std::vector<std::string> headers{"variant"};
@@ -102,5 +103,11 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected shape (modeled table): NoShr/Shr < First on "
                "every column; Shr <= NoShr; best at adaptive,0.3 or "
                "adaptive,0.7.\n";
+  try {
+    write_observability(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
   return all_ok ? 0 : 1;
 }

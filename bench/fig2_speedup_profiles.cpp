@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   device::Device dev({.backend = opt.backend,
                       .mode = device::ExecMode::kConcurrent,
                       .num_threads = opt.threads});
+  attach_tracer(opt, dev);
   const auto baseline = SolverRegistry::instance().create("seq-pr");
   std::vector<std::unique_ptr<Solver>> solvers;
   for (const auto& spec : opt.algos) solvers.push_back(spec.instantiate());
@@ -103,6 +104,7 @@ int main(int argc, char** argv) {
   std::cout << "\n";
   try {
     write_json(opt.json_path, "fig2_speedup_profiles", records, summary);
+    write_observability(opt);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   device::Device dev({.backend = opt.backend,
                       .mode = device::ExecMode::kConcurrent,
                       .num_threads = opt.threads});
+  attach_tracer(opt, dev);
   std::vector<std::unique_ptr<Solver>> solvers;
   std::vector<std::string> names;
   for (const auto& spec : opt.algos) {
@@ -104,6 +105,7 @@ int main(int argc, char** argv) {
                            static_cast<double>(suite.size()));
   try {
     write_json(opt.json_path, "fig3_performance_profiles", records, summary);
+    write_observability(opt);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   device::Device dev({.backend = opt.backend,
                       .mode = device::ExecMode::kConcurrent,
                       .num_threads = opt.threads});
+  attach_tracer(opt, dev);
 
   bool all_ok = true;
   Table table({"id", "graph", "class", "PR (s)", "G-PR (s)", "speedup",
@@ -61,5 +62,11 @@ int main(int argc, char** argv) {
             << ", arithmetic mean " << s.mean << " (paper: 0.31 – 12.60, "
             << "mean 3.05); G-PR faster than PR on " << wins << "/"
             << suite.size() << " graphs (paper: 23/28).\n";
+  try {
+    write_observability(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
   return all_ok ? 0 : 1;
 }

@@ -41,7 +41,51 @@ void register_suite_flags(CliParser& cli, int default_stride,
                    "write instance x algo results (time/launches/matched) as "
                    "JSON to this path (empty = off)",
                    "");
+  register_observability_flags(cli);
   if (!default_algos.empty()) add_algo_flag(cli, default_algos);
+}
+
+void register_observability_flags(CliParser& cli) {
+  cli.add_option("trace",
+                 "record the run (solve phases, device launches, shard "
+                 "rounds) as chrome://tracing JSON to this path (empty = "
+                 "off)",
+                 "");
+  cli.add_option("metrics",
+                 "snapshot the global metrics registry as JSON to this path "
+                 "at exit (empty = off)",
+                 "");
+}
+
+void observability_from_cli(const CliParser& cli, SuiteOptions& opt) {
+  if (cli.has("trace")) opt.trace_path = cli.get_string("trace");
+  if (cli.has("metrics")) opt.metrics_path = cli.get_string("metrics");
+  if (!opt.trace_path.empty()) {
+    opt.trace_sink = std::make_shared<obs::Tracer>();
+    opt.trace_sink->enable();
+  }
+}
+
+device::Device& attach_tracer(const SuiteOptions& opt, device::Device& dev) {
+  if (opt.trace_sink != nullptr) dev.set_tracer(opt.trace_sink.get());
+  return dev;
+}
+
+void write_observability(const SuiteOptions& opt) {
+  if (!opt.trace_path.empty() && opt.trace_sink != nullptr) {
+    if (!opt.trace_sink->write_file(opt.trace_path))
+      throw std::runtime_error("cannot write trace to " + opt.trace_path);
+    std::cout << "# trace written to " << opt.trace_path << " ("
+              << opt.trace_sink->events().size() << " events";
+    if (const std::uint64_t dropped = opt.trace_sink->dropped(); dropped > 0)
+      std::cout << ", " << dropped << " dropped";
+    std::cout << ")\n";
+  }
+  if (!opt.metrics_path.empty()) {
+    if (!obs::Registry::global().write_file(opt.metrics_path))
+      throw std::runtime_error("cannot write metrics to " + opt.metrics_path);
+    std::cout << "# metrics written to " << opt.metrics_path << '\n';
+  }
 }
 
 SuiteOptions suite_options_from_cli(const CliParser& cli) {
@@ -59,6 +103,7 @@ SuiteOptions suite_options_from_cli(const CliParser& cli) {
   opt.no_model = cli.get_flag("no-model");
   if (cli.has("json")) opt.json_path = cli.get_string("json");
   if (cli.has("algo")) opt.algos = solver_specs_from_cli(cli);
+  observability_from_cli(cli, opt);
   return opt;
 }
 
@@ -167,7 +212,8 @@ PipelineReport run_grid(const std::vector<BuiltInstance>& suite,
   MatchingPipeline pipe({.device_backend = opt.backend,
                          .device_threads = opt.threads,
                          .solver_threads = opt.threads,
-                         .max_concurrent_jobs = opt.jobs});
+                         .max_concurrent_jobs = opt.jobs,
+                         .tracer = opt.tracer()});
   for (const BuiltInstance& bi : suite)
     pipe.add_instance(to_pipeline_instance(bi));
   return pipe.run_specs(opt.algos);
@@ -181,8 +227,24 @@ AlgoResult run_solver(const Solver& solver, device::Device& dev,
 
 AlgoResult run_solver(const Solver& solver, const SolveContext& ctx,
                       const BuiltInstance& bi) {
+  // Phase attribution: the tracer's per-phase totals are cumulative, so
+  // this run's breakdown is the difference across the solve.
+  obs::Tracer* const tracer =
+      ctx.tracer != nullptr
+          ? ctx.tracer
+          : ctx.device != nullptr ? ctx.device->tracer() : nullptr;
+  const bool tracing = tracer != nullptr && tracer->enabled();
+  std::map<std::string, double> before;
+  if (tracing) before = tracer->totals_ms("phase");
   const SolveResult result = solver.run(ctx, bi.g, bi.init);
   AlgoResult r;
+  if (tracing) {
+    for (const auto& [phase, ms] : tracer->totals_ms("phase")) {
+      const auto it = before.find(phase);
+      const double delta = ms - (it != before.end() ? it->second : 0.0);
+      if (delta > 0.0) r.phases[phase] = delta;
+    }
+  }
   r.seconds = result.stats.wall_ms / 1e3;
   r.modeled_seconds = result.stats.modeled_ms / 1e3;
   r.cardinality = result.stats.cardinality;
@@ -247,7 +309,8 @@ JsonRecord to_json_record(const std::string& instance,
                           const std::string& suite, const std::string& algo,
                           const AlgoResult& r, device::Backend backend) {
   return {instance,   suite,         algo, r.seconds, r.modeled_seconds,
-          r.launches, r.cardinality, r.ok, std::string(device::backend_name(backend))};
+          r.launches, r.cardinality, r.ok,
+          std::string(device::backend_name(backend)), r.phases};
 }
 
 void write_json(const std::string& path, const std::string& bench,
@@ -266,8 +329,18 @@ void write_json(const std::string& path, const std::string& bench,
         << ", \"modeled_s\": " << json_number(r.modeled_s)
         << ", \"launches\": " << r.launches << ", \"matched\": " << r.matched
         << ", \"ok\": " << (r.ok ? "true" : "false") << ", \"backend\": \""
-        << json_escape(r.backend) << "\"}"
-        << (i + 1 < records.size() ? "," : "") << '\n';
+        << json_escape(r.backend) << "\"";
+    if (!r.phases.empty()) {
+      out << ", \"phases\": {";
+      bool sep = false;
+      for (const auto& [phase, ms] : r.phases) {
+        out << (sep ? ", " : "") << "\"" << json_escape(phase)
+            << "\": " << json_number(ms);
+        sep = true;
+      }
+      out << "}";
+    }
+    out << "}" << (i + 1 < records.size() ? "," : "") << '\n';
   }
   out << "  ],\n  \"summary\": {";
   for (std::size_t i = 0; i < summary.size(); ++i)

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -9,6 +11,8 @@
 #include "device/device.hpp"
 #include "graph/instances.hpp"
 #include "matching/matching.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 
 namespace bpm::bench {
@@ -46,6 +50,20 @@ struct SuiteOptions {
   /// `write_json`).  Empty = off.  This is how BENCH_*.json perf
   /// trajectories are recorded.
   std::string json_path;
+  /// `--trace <path>`: record the whole harness run — solve phases,
+  /// device launches, shard fleet rounds — into a chrome://tracing JSON
+  /// written by `write_observability`.  Empty = tracing off (the hot
+  /// paths see a single disabled-tracer check).
+  std::string trace_path;
+  /// `--metrics <path>`: snapshot `obs::Registry::global()` to JSON at
+  /// harness end (`write_observability`).  Empty = off.
+  std::string metrics_path;
+  /// The trace sink backing `--trace`, created enabled by
+  /// `observability_from_cli`; null when tracing is off.  Attach it to
+  /// harness streams with `attach_tracer` / `SolveContext::tracer`.
+  std::shared_ptr<obs::Tracer> trace_sink;
+
+  [[nodiscard]] obs::Tracer* tracer() const { return trace_sink.get(); }
 };
 
 /// Registers the shared flags on `cli`; call `cli.parse` afterwards and
@@ -60,6 +78,21 @@ void register_suite_flags(CliParser& cli, int default_stride = 1,
                           const std::string& default_algos = "",
                           bool with_json = false);
 [[nodiscard]] SuiteOptions suite_options_from_cli(const CliParser& cli);
+
+/// Registers `--trace` / `--metrics` alone — for harnesses with a
+/// hand-rolled flag set (`register_suite_flags` already includes them).
+void register_observability_flags(CliParser& cli);
+/// Reads `--trace` / `--metrics` into `opt` and creates the enabled trace
+/// sink when `--trace` is set.  `suite_options_from_cli` calls this;
+/// hand-rolled harnesses call it after `cli.parse`.
+void observability_from_cli(const CliParser& cli, SuiteOptions& opt);
+/// Attaches the suite's trace sink (if any) to a device stream so its
+/// launches are recorded; returns `dev` for inline use.
+device::Device& attach_tracer(const SuiteOptions& opt, device::Device& dev);
+/// Writes the `--trace` / `--metrics` artifacts; no-op for empty paths,
+/// so every harness calls it unconditionally before exiting.  Throws
+/// `std::runtime_error` on I/O failure.
+void write_observability(const SuiteOptions& opt);
 
 /// One generated instance with its cheap-matching initialisation.
 /// The paper times all algorithms *after* the common greedy init, so the
@@ -104,6 +137,10 @@ struct AlgoResult {
   graph::index_t cardinality = 0;
   std::int64_t launches = 0;     ///< device kernel launches; 0 for CPU
   bool ok = false;
+  /// Per-phase wall ms of this run ("push", "global-relabel",
+  /// "frontier-compaction", ...), diffed from the suite tracer around the
+  /// solve.  Empty when tracing is off or the solver records no phases.
+  std::map<std::string, double> phases;
 };
 
 /// The time to report for a device algorithm in cross-architecture
@@ -168,6 +205,10 @@ struct JsonRecord {
   /// Which `device::Backend` produced the measurement ("sim" | "host") —
   /// per-backend perf-trajectory lines aggregate on this field.
   std::string backend = "sim";
+  /// Per-phase ms (`AlgoResult::phases`); emitted as an optional
+  /// `"phases"` sub-object when non-empty, so records stay byte-identical
+  /// to pre-tracing ones when tracing is off.
+  std::map<std::string, double> phases;
 };
 
 /// An `AlgoResult` as a record, labels supplied by the caller.

@@ -41,7 +41,8 @@ int main(int argc, char** argv) {
 
   MatchingPipeline pipe({.device_threads = opt.threads,
                          .solver_threads = opt.threads,
-                         .max_concurrent_jobs = 1});
+                         .max_concurrent_jobs = 1,
+                         .tracer = opt.tracer()});
   std::size_t duplicated = 0;
   for (const auto& meta : graph::select_instances(opt.stride)) {
     const BuiltInstance bi = build_instance(meta, opt);
@@ -99,5 +100,11 @@ int main(int argc, char** argv) {
                "max_concurrent_jobs > 1 (jobs overlap on device streams; 0 "
                "= hardware concurrency), while the report stays identical "
                "to the sequential schedule.\n";
+  try {
+    write_observability(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
   return all_ok ? 0 : 1;
 }

@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
           graph::paper_instances()[static_cast<std::size_t>(id - 1)], one);
       device::Device dev({.mode = device::ExecMode::kConcurrent,
                           .num_threads = opt.threads});
+      attach_tracer(opt, dev);
       const AlgoResult pr = run_solver("seq-pr", dev, bi);
       const AlgoResult gpr = run_solver("g-pr-shr", dev, bi);
       all_ok &= pr.ok && gpr.ok;
@@ -67,5 +68,11 @@ int main(int argc, char** argv) {
                " scale toward the paper's full-scale numbers; the trace-mesh"
                " column stays at or below ~1 (launch-latency bound, diameter"
                " grows with sqrt scale).\n";
+  try {
+    write_observability(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
   return all_ok ? 0 : 1;
 }

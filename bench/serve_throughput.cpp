@@ -87,6 +87,7 @@ serve::ServiceOptions service_options(const SuiteOptions& opt,
   s.engines = pool.engines;
   s.routing = pool.routing;
   s.coalesce = pool.coalesce;
+  s.tracer = opt.tracer();
   return s;
 }
 
@@ -271,6 +272,19 @@ int main(int argc, char** argv) {
                "(responses are checked against the sequential pipeline "
                "reference).\n";
 
+  // Registry cross-check: every completion above also streamed into the
+  // process-wide `serve.latency_ms` histogram, so its interpolated
+  // percentiles must track the exact per-request ones in the table
+  // (bucketed, so approximate — same order of magnitude, same shape).
+  {
+    const obs::Histogram::Snapshot snap =
+        obs::Registry::global().histogram("serve.latency_ms").snapshot();
+    std::cout << "registry serve.latency_ms (all levels pooled): count="
+              << snap.count << " mean=" << snap.mean() << " ms, p50="
+              << snap.percentile(50) << " ms, p90=" << snap.percentile(90)
+              << " ms, p99=" << snap.percentile(99) << " ms\n";
+  }
+
   // ---- duplicate-heavy open-loop burst: the coalescing showcase ----------
   // Every mix job submitted --dup times in one shuffled, unpaced burst
   // against a cache-less service: with --coalesce the duplicate
@@ -422,6 +436,12 @@ int main(int argc, char** argv) {
               << " ms, p99 " << percentile(lat, 99) << " ms\n";
   }
 
+  try {
+    write_observability(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
   if (!all_ok) {
     std::cerr << "\nRESULT CHECK FAILED: see bad counts above\n";
     return 1;

@@ -90,6 +90,7 @@ int main(int argc, char** argv) {
                  "write the cell grid (wall/fleet/launches/matched) as JSON "
                  "to this path (empty = off)",
                  "");
+  register_observability_flags(cli);
   SuiteOptions opt;
   index_t skew_n = 0;
   int reps = 1;
@@ -105,6 +106,7 @@ int main(int argc, char** argv) {
     skew_n = static_cast<index_t>(cli.get_int("skew-n"));
     reps = std::max(1, static_cast<int>(cli.get_int("reps")));
     skip_massive = cli.get_flag("skip-massive");
+    observability_from_cli(cli, opt);
     if (opt.scale <= 0.0) throw std::invalid_argument("--scale must be > 0");
     if (skew_n < 64) throw std::invalid_argument("--skew-n must be >= 64");
   } catch (const std::exception& e) {
@@ -192,9 +194,11 @@ int main(int argc, char** argv) {
       const Cell& cell = cells[c];
       const auto fleet = build_fleet(cell, opt.threads);
       device::Device dev(fleet.front());
+      attach_tracer(opt, dev);
       SolveContext ctx{.device = &dev,
                        .threads = opt.threads,
-                       .engines = fleet};
+                       .engines = fleet,
+                       .tracer = opt.tracer()};
       const auto solver = SolverRegistry::instance().create("g-pr-sh");
       if (!solver->set_option("shards", std::to_string(cell.shards)))
         throw std::logic_error("g-pr-sh lost its shards option");
@@ -254,6 +258,7 @@ int main(int argc, char** argv) {
   }
   try {
     write_json(opt.json_path, "shard_scaling", records, summary);
+    write_observability(opt);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
   device::Device dev({.backend = opt.backend,
                       .mode = device::ExecMode::kConcurrent,
                       .num_threads = opt.threads});
+  attach_tracer(opt, dev);
   std::vector<std::unique_ptr<Solver>> solvers;
   for (const auto& spec : opt.algos) solvers.push_back(spec.instantiate());
 
@@ -88,6 +89,7 @@ int main(int argc, char** argv) {
                          geometric_mean(times[i]));
   try {
     write_json(opt.json_path, "table1_runtimes", records, summary);
+    write_observability(opt);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

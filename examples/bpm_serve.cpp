@@ -25,6 +25,13 @@
 //   wait <ticket>                      block until the result line
 //   drain                              block until the queue is empty
 //   stats                              service + cache + engine counters
+//   metrics                            global metrics registry as JSON
+//                                      (queue depth, per-engine load, cache
+//                                      hit rate, latency percentiles)
+//   trace-start <path>                 start recording a chrome://tracing
+//                                      timeline of every served request
+//   trace-dump                         write the timeline to the path given
+//                                      at trace-start (recording continues)
 //   save-cache <path> | load-cache <path>
 //   shutdown                           stop accepting, drain, exit
 
@@ -37,6 +44,8 @@
 #include "graph/generators.hpp"
 #include "graph/instances.hpp"
 #include "graph/matrix_market.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/service.hpp"
 #include "util/cli.hpp"
 
@@ -104,9 +113,17 @@ graph::BipartiteGraph generate(const std::vector<std::string>& args) {
       "' (uniform | planted | chung-lu | instance | huge)");
 }
 
+/// The process's trace recorder behind `trace-start` / `trace-dump`:
+/// constructed idle; `trace-start` enables it and attaches it to the
+/// service so every subsequent request records its lifecycle.
+struct TraceState {
+  obs::Tracer tracer;
+  std::string path;  ///< where `trace-dump` writes; set by trace-start
+};
+
 /// Executes one protocol line; returns false on `shutdown`.
-bool execute(serve::MatchingService& service, const std::string& line,
-             bool echo) {
+bool execute(serve::MatchingService& service, TraceState& trace,
+             const std::string& line, bool echo) {
   std::istringstream is(line);
   std::vector<std::string> tok;
   for (std::string t; is >> t;) tok.push_back(t);
@@ -143,16 +160,54 @@ bool execute(serve::MatchingService& service, const std::string& line,
                 << " insertions=" << c.insertions
                 << " evictions=" << c.evictions << "\n";
     }
+    // Per-engine line: what the engine IS (the full EngineDescriptor
+    // summary — backend, lanes/workers, NUMA pin) right next to what it
+    // is DOING (its in-flight load and lifetime odometers).
     for (const serve::EngineGroupEngineStats& e :
          service.engine_group().stats())
-      std::cout << "engine " << e.index << " backend="
+      std::cout << "engine " << e.index << " descriptor="
                 << e.descriptor.summary() << (e.retired ? " retired" : "")
-                << " dispatches=" << e.dispatches << " load=" << e.load
+                << " load=" << e.load << " dispatches=" << e.dispatches
                 << " streams_opened=" << e.device.streams_opened
                 << " streams_retired=" << e.device.streams_retired
                 << " launches=" << e.device.launches
                 << " modeled_ms=" << e.device.modeled_ms
                 << " native_ms=" << e.device.native_ms << "\n";
+    return true;
+  }
+  if (cmd == "metrics") {
+    // Live registry snapshot: the service's streamed counters/histograms
+    // plus the point-in-time gauges published right now (queue depth,
+    // per-engine load, cache hit rate).
+    service.publish_metrics(obs::Registry::global());
+    if (service.cache()) {
+      const serve::CacheStats c = service.cache()->stats();
+      obs::Registry::global()
+          .gauge("serve.cache_bytes")
+          .set(static_cast<double>(c.bytes));
+      obs::Registry::global()
+          .gauge("serve.cache_entries")
+          .set(static_cast<double>(c.entries));
+    }
+    std::cout << obs::Registry::global().snapshot_json() << "\n";
+    return true;
+  }
+  if (cmd == "trace-start") {
+    if (tok.size() != 2) throw std::invalid_argument("trace-start <path>");
+    trace.path = tok[1];
+    trace.tracer.enable();
+    service.set_tracer(&trace.tracer);
+    std::cout << "tracing started (dump target " << trace.path << ")\n";
+    return true;
+  }
+  if (cmd == "trace-dump") {
+    if (trace.path.empty())
+      throw std::invalid_argument("trace-dump before trace-start");
+    if (!trace.tracer.write_file(trace.path))
+      throw std::runtime_error("cannot write trace to '" + trace.path + "'");
+    std::cout << "trace written to " << trace.path << " ("
+              << trace.tracer.events().size() << " events, "
+              << trace.tracer.dropped() << " dropped)\n";
     return true;
   }
   if (cmd == "load" || cmd == "gen") {
@@ -301,6 +356,9 @@ int main(int argc, char** argv) {
           .byte_budget = cache_bytes,
           .shards = static_cast<unsigned>(cli.get_int("cache-shards"))});
 
+    // Declared before the service: once trace-start attaches the tracer,
+    // the service holds a pointer into it, so it must destruct last.
+    TraceState trace;
     serve::MatchingService service(opt);
     if (!cli.get_string("cache-load").empty() && service.cache()) {
       const std::size_t n =
@@ -323,7 +381,7 @@ int main(int argc, char** argv) {
     bool failed = false;
     for (std::string line; std::getline(in, line);) {
       try {
-        if (!execute(service, line, echo)) break;
+        if (!execute(service, trace, line, echo)) break;
       } catch (const std::exception& e) {
         // A bad command must not take the service down — report and go on
         // (the process still exits nonzero so scripted runs fail loudly).

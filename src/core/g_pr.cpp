@@ -41,6 +41,8 @@ void run_first(device::Device& dev, const BipartiteGraph& g, DeviceState& st,
     (void)relabels.on_loop(dev, g, st, loop, stats, timer);
 
     act_exists.reset();
+    auto push_sp = obs::span(dev.tracer(), "push", "phase");
+    if (push_sp) push_sp.arg("loop", loop);
     timer.restart();
     // G-PR-KRNL: one logical thread per column.  Work units model
     // uncoalesced gathers: the µ(µ(v)) activity probe costs one for every
@@ -72,6 +74,7 @@ void run_first(device::Device& dev, const BipartiteGraph& g, DeviceState& st,
       }
       return work;
     });
+    push_sp.end();
     stats.push_ms += timer.elapsed_ms();
     active = act_exists.is_raised();
     if (observer) observer->on_loop_end(loop, st);
@@ -119,6 +122,8 @@ void run_active_list(device::Device& dev, const BipartiteGraph& g,
     if (with_shrink && shrink && len >= options.shrink_threshold) {
       // G-PR-SHRKRNL: resolve (roll back conflicts) and compact via the
       // shared two-pass stream compaction (paper §III-C2).
+      auto shrink_sp = obs::span(dev.tracer(), "frontier-compaction", "phase");
+      if (shrink_sp) shrink_sp.arg("loop", loop);
       device::relaxed_vector<index_t> compacted;
       const std::int64_t total = compact_survivors(
           dev, len,
@@ -170,6 +175,11 @@ void run_active_list(device::Device& dev, const BipartiteGraph& g,
     active = act_exists.is_raised();
     if (active) {
       // G-PR-PUSHKRNL (Algorithm 9).
+      auto push_sp = obs::span(dev.tracer(), "push", "phase");
+      if (push_sp) {
+        push_sp.arg("loop", loop);
+        push_sp.arg("active", len);
+      }
       dev.launch_accounted(len, [&](std::int64_t i) -> std::int64_t {
         const auto iz = static_cast<std::size_t>(i);
         const index_t v = ac.load(iz);
@@ -272,6 +282,8 @@ void run_balanced(device::Device& dev, const BipartiteGraph& g,
     // --- frontier compaction -------------------------------------------
     // The shared SHRKRNL-shaped stream compaction, emitting the dense
     // frontier SoA instead of a bare column list.
+    auto compact_sp = obs::span(dev.tracer(), "frontier-compaction", "phase");
+    if (compact_sp) compact_sp.arg("loop", loop);
     const std::int64_t total = compact_survivors(
         dev, len,
         [&](std::int64_t i) -> index_t {
@@ -294,6 +306,8 @@ void run_balanced(device::Device& dev, const BipartiteGraph& g,
     // the survivors' scattered iA stamps and gathered ψ/CSR metadata.
     dev.charge_work(2 * len + 3 * total);
     ++stats.frontier_builds;
+    if (compact_sp) compact_sp.arg("survivors", total);
+    compact_sp.end();
 
     len = total;
     stats.active_peak =
@@ -309,9 +323,16 @@ void run_balanced(device::Device& dev, const BipartiteGraph& g,
     displaced.assign(static_cast<std::size_t>(len), kUnmatched);
 
     // --- edge-balanced push (with intra-item min-combine) ---------------
-    detail::balanced_push(dev, col_adj, st, f, i_a, loop_stamp, psi_inf,
-                          options.split_grain, displaced,
-                          /*pushed_row=*/nullptr, stats);
+    {
+      auto push_sp = obs::span(dev.tracer(), "push", "phase");
+      if (push_sp) {
+        push_sp.arg("loop", loop);
+        push_sp.arg("active", len);
+      }
+      detail::balanced_push(dev, col_adj, st, f, i_a, loop_stamp, psi_inf,
+                            options.split_grain, displaced,
+                            /*pushed_row=*/nullptr, stats);
+    }
     stats.push_ms += timer.elapsed_ms();
     if (observer) observer->on_loop_end(loop, st);
     if (++loop > max_loops) loop_bound_exceeded();
@@ -331,6 +352,11 @@ GprResult g_pr(device::Device& dev, const BipartiteGraph& g,
   Timer total;
   GprResult result;
   GprStats& stats = result.stats;
+  auto solve_sp = obs::span(dev.tracer(), "g-pr", "solve");
+  if (solve_sp) {
+    solve_sp.arg("rows", static_cast<std::int64_t>(g.num_rows()));
+    solve_sp.arg("cols", static_cast<std::int64_t>(g.num_cols()));
+  }
   const std::uint64_t launches_before = dev.launches();
   const double modeled_before = dev.modeled_ms();
 
@@ -381,7 +407,10 @@ GprResult g_pr(device::Device& dev, const BipartiteGraph& g,
   }
 
   Timer fix;
-  detail::fix_matching(dev, g, st);
+  {
+    auto fix_sp = obs::span(dev.tracer(), "fix-matching", "phase");
+    detail::fix_matching(dev, g, st);
+  }
 
   result.matching.row_match = st.mu_row.to_host();
   result.matching.col_match = st.mu_col.to_host();

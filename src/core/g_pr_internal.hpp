@@ -20,6 +20,7 @@
 #include "device/mem.hpp"
 #include "device/scan.hpp"
 #include "matching/matching.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace bpm::gpu::detail {
@@ -144,6 +145,8 @@ class RelabelScheduler {
         options_.concurrent_global_relabel && stats.global_relabels > 0;
     if (!overlap) {
       if (loop == iter_gr_) {
+        auto sp = obs::span(dev.tracer(), "global-relabel", "phase");
+        if (sp) sp.arg("loop", loop);
         timer.restart();
         const GrResult gr = g_gr(dev, g, st);
         stats.gr_ms += timer.elapsed_ms();
@@ -161,6 +164,11 @@ class RelabelScheduler {
       if (dirty_completions_ >= kMaxDirtyRetries) {
         // Contention keeps invalidating the snapshots; pay for one
         // synchronous relabel to guarantee fresh labels.
+        auto sp = obs::span(dev.tracer(), "global-relabel", "phase");
+        if (sp) {
+          sp.arg("loop", loop);
+          sp.arg("forced_sync", true);
+        }
         const GrResult gr = g_gr(dev, g, st);
         ++stats.global_relabels;
         stats.gr_level_kernels += gr.level_kernels;
@@ -172,10 +180,18 @@ class RelabelScheduler {
         return true;
       }
       st.mu_dirty.reset();
+      if (obs::Tracer* tracer = dev.tracer(); tracer && tracer->enabled())
+        tracer->instant("global-relabel-async-start", "phase",
+                        obs::arg_json("loop", loop));
       async_.start(dev, g, st);
       ++stats.concurrent_relabels;
     }
     if (async_.running()) {
+      auto sp = obs::span(dev.tracer(), "global-relabel", "phase");
+      if (sp) {
+        sp.arg("loop", loop);
+        sp.arg("async", true);
+      }
       ++stats.gr_level_kernels;
       if (async_.step(dev, g)) {
         if (st.mu_dirty.is_raised()) {

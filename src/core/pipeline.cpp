@@ -32,19 +32,27 @@ AdmittedJobResult run_admitted_job(
     serve::ResultCache* cache, const PipelineOptions& options) {
   AdmittedJobResult out;
   const PipelineInstance& inst = *job.instance;
+  auto job_sp = obs::span(options.tracer, "job", "pipeline");
+  if (job_sp) {
+    job_sp.arg("instance", inst.name);
+    job_sp.arg("solver", job.solver->name());
+    job_sp.arg("fingerprint", static_cast<std::int64_t>(inst.fingerprint));
+  }
   if (cache && !job.cache_key.empty()) {
     if (std::optional<JobOutcome> hit =
             cache->get(inst.fingerprint, job.cache_key)) {
       out.outcome = std::move(*hit);
       out.cached = true;
       strip_cost_fields(out.outcome.stats);
+      if (job_sp) job_sp.arg("cached", true);
       return out;
     }
   }
   Timer timer;
   const SolveContext ctx{.device = &stream(),
                          .threads = options.solver_threads,
-                         .engines = options.engines};
+                         .engines = options.engines,
+                         .tracer = options.tracer};
   out.outcome = run_verified(*job.solver, ctx, inst.graph, inst.init,
                              options.verify ? inst.maximum_cardinality : -1);
   out.solve_ms = timer.elapsed_ms();
@@ -203,6 +211,11 @@ PipelineReport MatchingPipeline::run_jobs(const std::vector<JobSpec>& solvers) {
   Timer batch_timer;
   const std::size_t per_instance = solvers.size();
   const std::size_t num_jobs = instances_.size() * per_instance;
+  auto batch_sp = obs::span(options_.tracer, "batch", "pipeline");
+  if (batch_sp) {
+    batch_sp.arg("instances", static_cast<std::int64_t>(instances_.size()));
+    batch_sp.arg("jobs", static_cast<std::int64_t>(num_jobs));
+  }
 
   PipelineReport report;
   report.jobs.resize(num_jobs);
@@ -263,6 +276,7 @@ PipelineReport MatchingPipeline::run_jobs(const std::vector<JobSpec>& solvers) {
 
   if (concurrency <= 1) {
     // The sequential schedule, on the pipeline's primary stream.
+    if (options_.tracer != nullptr) device_.set_tracer(options_.tracer);
     for (const std::size_t j : worklist) run_one(j, device_);
   } else {
     // Work-stealing schedule: every scheduler thread owns one device
@@ -271,6 +285,7 @@ PipelineReport MatchingPipeline::run_jobs(const std::vector<JobSpec>& solvers) {
     std::atomic<std::size_t> next{0};
     const auto scheduler = [&] {
       device::Device stream(engine_);
+      if (options_.tracer != nullptr) stream.set_tracer(options_.tracer);
       while (true) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= worklist.size()) return;

@@ -59,6 +59,12 @@ struct PipelineOptions {
   /// these engines, one shard per engine round-robin.  Empty (the default)
   /// lets sharded jobs fall back to the job's own stream engine.
   std::vector<std::shared_ptr<device::Engine>> engines;
+  /// Optional trace sink: each admitted job records a `"job"` span (solver
+  /// spec, instance fingerprint, cache outcome) and hands the tracer to its
+  /// solve (`SolveContext::tracer`), so one timeline shows the scheduler's
+  /// job packing above the per-solve phase spans.  Must outlive the batch;
+  /// null or disabled costs one branch per job.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// One graph admitted to the batch, with everything that is computed once

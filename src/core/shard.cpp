@@ -147,9 +147,14 @@ struct Shard {
 ///        (shard-local relabels are unsound; see the header).
 class ShardedRun {
  public:
+  /// Trace timeline row of the coordinator (outbox drains, relabel
+  /// barriers).  Shards use their own ids (0..K−1), so any row below
+  /// `Tracer::kThreadTidBase` that cannot be a shard id works.
+  static constexpr std::uint32_t kCoordinatorTid = 96;
+
   ShardedRun(std::span<const std::shared_ptr<device::Engine>> engines,
              const BipartiteGraph& g, const matching::Matching& init,
-             const GprOptions& options, int num_shards)
+             const GprOptions& options, int num_shards, obs::Tracer* tracer)
       : g_(g),
         col_ptr_(g.col_ptr()),
         col_adj_(g.col_adj().data()),
@@ -159,7 +164,8 @@ class ShardedRun {
         st_(device::uninitialized, g.num_rows(), g.num_cols()),
         i_a_(device::uninitialized, static_cast<std::size_t>(g.num_cols())),
         claim_(device::uninitialized, static_cast<std::size_t>(g.num_rows())),
-        dev0_(engines[0]) {
+        dev0_(engines[0]),
+        tracer_(tracer) {
     // Shard-local relabels over-estimate alternating distances (the
     // AsyncGlobalRelabel hazard); every relabel is a synchronous
     // whole-graph G-GR on the coordinator stream.
@@ -177,6 +183,19 @@ class ShardedRun {
       shards_.emplace_back(s, plan_.col_begin[static_cast<std::size_t>(s)],
                            plan_.col_begin[static_cast<std::size_t>(s) + 1],
                            engine, k);
+    }
+    if (tracer_ != nullptr) {
+      dev0_.set_tracer(tracer_);
+      dev0_.set_trace_tid(kCoordinatorTid);
+      tracer_->name_tid(kCoordinatorTid, "coordinator");
+      for (Shard& s : shards_) {
+        s.dev.set_tracer(tracer_);
+        s.dev.set_trace_tid(static_cast<std::uint32_t>(s.id));
+        tracer_->name_tid(
+            static_cast<std::uint32_t>(s.id),
+            "shard " + std::to_string(s.id) + " (" +
+                s.dev.engine()->descriptor().summary() + ")");
+      }
     }
     init_state(init);
   }
@@ -262,6 +281,12 @@ class ShardedRun {
   /// the frontier SoA, stamp iA.  Serial per shard — the parallelism is
   /// across shards; the equivalent device cost is charged to the model.
   void phase_compact(Shard& s) {
+    auto sp = obs::span(tracer_, "compact", "shard",
+                        static_cast<std::uint32_t>(s.id));
+    if (sp) {
+      sp.arg("round", round_);
+      sp.arg("slots", s.len);
+    }
     Timer t;
     const auto round_stamp = static_cast<index_t>(round_);
     const std::int64_t slots = s.len;
@@ -317,6 +342,12 @@ class ShardedRun {
   /// claim for every row pushed.  Claims only involve this shard's own
   /// push results, so no barrier is needed between push and claim.
   void phase_push_claim(Shard& s) {
+    auto sp = obs::span(tracer_, "push", "shard",
+                        static_cast<std::uint32_t>(s.id));
+    if (sp) {
+      sp.arg("round", round_);
+      sp.arg("active", s.len);
+    }
     Timer t;
     if (s.len > 0) {
       detail::balanced_push(s.dev, col_adj_, st_, s.f, i_a_,
@@ -345,6 +376,9 @@ class ShardedRun {
   /// stay active in their slots and are rolled back by the next round's
   /// compaction — the cross-shard analogue of an iA conflict.
   void phase_apply(Shard& s) {
+    auto sp = obs::span(tracer_, "apply", "shard",
+                        static_cast<std::uint32_t>(s.id));
+    if (sp) sp.arg("round", round_);
     Timer t;
     const std::int64_t round_hi = kRoundKeyBias - round_;
     std::int64_t work = 0;
@@ -376,12 +410,16 @@ class ShardedRun {
       done_ = true;
       return;
     }
+    auto sp = obs::span(tracer_, "outbox-exchange", "shard", kCoordinatorTid);
+    if (sp) sp.arg("round", round_);
+    std::int64_t routed = 0;
     bool any = false;
     std::int64_t total_len = 0;
     for (Shard& s : shards_) {
       for (std::size_t dst = 0; dst < s.outbox.size(); ++dst) {
         std::vector<index_t>& ob = s.outbox[dst];
         if (ob.empty()) continue;
+        routed += static_cast<std::int64_t>(ob.size());
         shards_[dst].inbox.insert(shards_[dst].inbox.end(), ob.begin(),
                                   ob.end());
         ob.clear();
@@ -394,6 +432,10 @@ class ShardedRun {
     stats_.active_peak =
         std::max<index_t>(stats_.active_peak,
                           static_cast<index_t>(total_len));
+    if (sp) {
+      sp.arg("transfers", routed);
+      sp.arg("active", total_len);
+    }
     done_ = !any;
   }
 
@@ -427,6 +469,11 @@ class ShardedRun {
           "DESIGN.md D8)");
       return;
     }
+    // Every driver is blocked at the barrier while this runs, so the span
+    // IS the fleet-wide relabel barrier the trace should make visible.
+    auto sp =
+        obs::span(tracer_, "global-relabel-barrier", "shard", kCoordinatorTid);
+    if (sp) sp.arg("round", round_);
     Timer t;
     const double m0 = dev0_.modeled_ms();
     try {
@@ -565,6 +612,7 @@ class ShardedRun {
   std::vector<Shard> shards_;
 
   device::Device dev0_;  ///< coordinator stream (relabels, FIXMATCHING)
+  obs::Tracer* tracer_;  ///< nullable; shard rows tid = shard id
   RelabelScheduler scheduler_{g_, opts_};
   Timer gr_timer_;
   GprStats stats_;
@@ -586,12 +634,13 @@ class ShardedRun {
 GprResult g_pr_sharded(
     std::span<const std::shared_ptr<device::Engine>> engines,
     const BipartiteGraph& g, const matching::Matching& init,
-    const GprOptions& options) {
+    const GprOptions& options, obs::Tracer* tracer) {
   if (engines.empty())
     throw std::invalid_argument("g_pr_sharded: at least one engine required");
   const int shards = resolve_shard_count(g, options.shards, engines);
   if (shards <= 1) {
     device::Device dev(engines[0]);
+    dev.set_tracer(tracer);
     GprResult r = g_pr(dev, g, init, options);
     r.stats.shards = 1;
     return r;
@@ -599,7 +648,7 @@ GprResult g_pr_sharded(
   if (!init.is_valid(g))
     throw std::invalid_argument("g_pr_sharded: invalid initial matching: " +
                                 init.first_violation(g));
-  ShardedRun run(engines, g, init, options, shards);
+  ShardedRun run(engines, g, init, options, shards, tracer);
   return run.run();
 }
 

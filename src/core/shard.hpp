@@ -88,9 +88,15 @@ struct ShardPlan {
 /// `engines` must be non-empty; shard k runs on `engines[k % size]`.
 /// `options.shards` selects K (0 = auto); `options.shard_drivers` picks
 /// sequential or parallel shard driver threads.
+///
+/// With a non-null enabled `tracer`, every per-shard stream records its
+/// launches and each shard's compact/push/apply phases land on timeline
+/// row `tid == shard id`, with the coordinator's outbox exchange and the
+/// synchronous global-relabel barriers on their own row — the trace shows
+/// the fleet's round structure, not the thread pool's.
 GprResult g_pr_sharded(
     std::span<const std::shared_ptr<device::Engine>> engines,
     const BipartiteGraph& g, const matching::Matching& init,
-    const GprOptions& options = {});
+    const GprOptions& options = {}, obs::Tracer* tracer = nullptr);
 
 }  // namespace bpm::gpu

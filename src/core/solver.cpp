@@ -135,6 +135,11 @@ class GprSolver final : public Solver {
                                 const graph::BipartiteGraph& g,
                                 const matching::Matching& init) const override {
     device::Device& dev = required_device(ctx, name_);
+    // The context's tracer rides on the device stream: the per-launch and
+    // phase spans read it from there, and the sharded path propagates it
+    // to every per-shard stream.
+    if (ctx.tracer != nullptr && dev.tracer() == nullptr)
+      dev.set_tracer(ctx.tracer);
     Timer t;
     gpu::GprResult r;
     if (options_.shards != 1) {
@@ -142,7 +147,8 @@ class GprSolver final : public Solver {
       // when the caller handed none — shard on this device's own engine.
       std::vector<std::shared_ptr<device::Engine>> engines = ctx.engines;
       if (engines.empty()) engines.push_back(dev.engine());
-      r = gpu::g_pr_sharded(engines, g, init, options_);
+      r = gpu::g_pr_sharded(engines, g, init, options_,
+                            ctx.tracer != nullptr ? ctx.tracer : dev.tracer());
     } else {
       r = gpu::g_pr(dev, g, init, options_);
     }

@@ -72,6 +72,12 @@ struct SolveContext {
   /// engine.  Empty = shard on `device`'s own engine (still correct; the
   /// shards just time-share it).
   std::vector<std::shared_ptr<device::Engine>> engines;
+  /// Optional trace collector (`obs::Tracer`): when set and enabled, the
+  /// run records solve-phase spans (push / global-relabel / frontier
+  /// compaction), per-launch device spans, and the sharded driver's
+  /// per-shard round timelines.  Must outlive the run; tracing must not
+  /// change the result (the conformance tests assert it).
+  obs::Tracer* tracer = nullptr;
 };
 
 /// A maximum cardinality bipartite matching algorithm behind a uniform

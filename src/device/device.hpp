@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "device/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace bpm::device {
 
@@ -341,6 +343,20 @@ class Device {
   [[nodiscard]] std::uint64_t launches() const { return launches_; }
   void reset_launch_count() { launches_ = 0; }
 
+  /// Optional trace collector.  When set *and enabled*, every launch
+  /// records a span annotated with the backend and its grid/work shape
+  /// (the sim adds the straggler-lane tally); when null or disabled the
+  /// entire cost is one pointer check per launch.  The tracer must
+  /// outlive the stream; streams propagate it to whatever they spawn
+  /// (the sharded driver hands it to each per-shard stream).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
+
+  /// Timeline row for this stream's launch spans.  Defaults to the
+  /// recording thread's own row; the sharded driver pins each shard
+  /// stream to `tid == shard id` so launches line up under their shard.
+  void set_trace_tid(std::uint32_t tid) { trace_tid_ = tid; }
+
   /// The stream's timing model — read-only; drivers that pre-split work
   /// host-side (the intra-item min-combine) size their fragments from
   /// `model().lanes` so the split matches what the model charges.
@@ -371,11 +387,12 @@ class Device {
   /// One kernel launch: `kernel(i)` for all i in [0, n).
   template <typename Kernel>
   void launch(std::int64_t n, Kernel&& kernel) {
+    auto sp = launch_span("launch", n);
     if (host()) {
       host_launch(n, kernel);
       return;
     }
-    ++launches_;
+    note_launch();
     account(n, 0);
     if (n <= 0) return;
     if (mode() == ExecMode::kSequential || num_workers() == 1) {
@@ -400,6 +417,7 @@ class Device {
   /// modes and at any worker count.
   template <typename Kernel>
   void launch_accounted(std::int64_t n, Kernel&& kernel) {
+    auto sp = launch_span("launch_accounted", n);
     if (host()) {
       // The host backend measures instead of modeling, so the kernel's
       // reported work units are not tallied — no lane bookkeeping, no
@@ -407,7 +425,7 @@ class Device {
       host_launch(n, [&](std::int64_t i) { (void)kernel(i); });
       return;
     }
-    ++launches_;
+    note_launch();
     if (n <= 0) {
       account(n, 0);
       return;
@@ -428,12 +446,14 @@ class Device {
         work += sum;
         max_lane = std::max(max_lane, sum);
       }
+      annotate_lanes(sp, work, max_lane);
       account(n, critical_work(work, max_lane));
       return;
     }
     const auto [work, max_lane] =
         run_lane_accounted(chunk_bounds(n, worker_parts(n)),
                            chunk_bounds(n, lane_parts(n)), kernel);
+    annotate_lanes(sp, work, max_lane);
     account(n, critical_work(work, max_lane));
   }
 
@@ -458,11 +478,15 @@ class Device {
   template <typename Kernel>
   void launch_balanced(std::span<const std::int64_t> offsets,
                        Kernel&& kernel) {
+    auto sp =
+        launch_span("launch_balanced",
+                    static_cast<std::int64_t>(offsets.size()) - 1);
+    if (sp && !offsets.empty()) sp.arg("work_total", offsets.back());
     if (host()) {
       host_launch_balanced(offsets, kernel);
       return;
     }
-    ++launches_;
+    note_launch();
     const auto n = static_cast<std::int64_t>(offsets.size()) - 1;
     if (n <= 0) {
       account(std::max<std::int64_t>(n, 0), 0);
@@ -471,6 +495,7 @@ class Device {
     const auto [work, max_lane] =
         run_lane_accounted(balanced_partition(offsets, worker_parts(n)),
                            balanced_partition(offsets, lane_parts(n)), kernel);
+    annotate_lanes(sp, work, max_lane);
     account(n, critical_work(work, max_lane));
   }
 
@@ -479,7 +504,8 @@ class Device {
   /// partition `[0, n)`.  Also counts as a single launch.
   template <typename Kernel>
   void launch_chunked(std::int64_t n, Kernel&& kernel) {
-    ++launches_;
+    auto sp = launch_span("launch_chunked", n);
+    note_launch();
     if (n <= 0) return;
     if (host()) {
       const auto t0 = std::chrono::steady_clock::now();
@@ -521,6 +547,43 @@ class Device {
     return engine_->backend() == Backend::kHost;
   }
 
+  /// One launch on this stream: the per-stream counter plus the always-on
+  /// process-wide `device.launches.<backend>` registry counter (striped
+  /// relaxed add — cheap enough for the thousands-of-tiny-launches runs).
+  void note_launch() {
+    ++launches_;
+    launch_counter().inc();
+  }
+
+  [[nodiscard]] obs::Counter& launch_counter() {
+    if (launch_counter_ == nullptr)
+      launch_counter_ = &obs::Registry::global().counter(
+          std::string("device.launches.") +
+          std::string(backend_name(backend())));
+    return *launch_counter_;
+  }
+
+  /// Span for one launch (inert when no tracer is attached or tracing is
+  /// off), pre-annotated with the backend and grid size.
+  [[nodiscard]] obs::Span launch_span(std::string_view name, std::int64_t n) {
+    auto sp = obs::span(tracer_, name, "device", trace_tid_);
+    if (sp) {
+      sp.arg("backend", backend_name(backend()));
+      sp.arg("n", n);
+    }
+    return sp;
+  }
+
+  /// The sim's straggler tally on a finished accounted/balanced launch:
+  /// total work, the busiest model lane, and the lane count charged.
+  void annotate_lanes(obs::Span& sp, std::int64_t work,
+                      std::int64_t max_lane) const {
+    if (!sp) return;
+    sp.arg("work", work);
+    sp.arg("lane_max", max_lane);
+    sp.arg("lanes", model_.lanes);
+  }
+
   /// What this stream retires as its native time: the measured wall
   /// accumulator on the host backend, the model accumulator on the sim.
   [[nodiscard]] double native_us() const {
@@ -552,7 +615,7 @@ class Device {
   /// `host_slots` slots, measured wall time, no model bookkeeping.
   template <typename Kernel>
   void host_launch(std::int64_t n, Kernel&& kernel) {
-    ++launches_;
+    note_launch();
     if (n <= 0) return;
     const auto t0 = std::chrono::steady_clock::now();
     const std::int64_t slots = host_slots(n);
@@ -575,7 +638,7 @@ class Device {
   template <typename Kernel>
   void host_launch_balanced(std::span<const std::int64_t> offsets,
                             Kernel&& kernel) {
-    ++launches_;
+    note_launch();
     const auto n = static_cast<std::int64_t>(offsets.size()) - 1;
     if (n <= 0) return;
     const auto t0 = std::chrono::steady_clock::now();
@@ -716,6 +779,9 @@ class Device {
   std::uint64_t launches_ = 0;
   double modeled_us_ = 0.0;
   double native_us_ = 0.0;  ///< host backend: measured in-kernel wall time
+  obs::Tracer* tracer_ = nullptr;
+  std::uint32_t trace_tid_ = obs::Tracer::kSelfTid;
+  obs::Counter* launch_counter_ = nullptr;  ///< lazy, process-wide registry
 };
 
 }  // namespace bpm::device

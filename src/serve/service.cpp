@@ -16,6 +16,10 @@ double ms_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+std::uint64_t ms_to_us(double ms) {
+  return ms <= 0.0 ? 0 : static_cast<std::uint64_t>(ms * 1000.0);
+}
+
 }  // namespace
 
 MatchingService::MatchingService(ServiceOptions options)
@@ -33,6 +37,23 @@ MatchingService::MatchingService(ServiceOptions options)
         admit.init_builder = options_.init_builder;
         return admit;
       }()) {
+  obs::Registry& reg = obs::Registry::global();
+  metrics_.submitted = &reg.counter("serve.submitted");
+  metrics_.accepted = &reg.counter("serve.accepted");
+  metrics_.rejected = &reg.counter("serve.rejected");
+  metrics_.completed = &reg.counter("serve.completed");
+  metrics_.failed = &reg.counter("serve.failed");
+  metrics_.expired = &reg.counter("serve.expired");
+  metrics_.cache_hits = &reg.counter("serve.cache_hits");
+  metrics_.fanout_hits = &reg.counter("serve.fanout_hits");
+  metrics_.dispatches = &reg.counter("serve.dispatches");
+  metrics_.coalesced = &reg.counter("serve.coalesced");
+  metrics_.queue_depth = &reg.gauge("serve.queue_depth");
+  metrics_.latency_ms = &reg.histogram("serve.latency_ms");
+  metrics_.queue_ms = &reg.histogram("serve.queue_ms");
+  metrics_.service_ms = &reg.histogram("serve.service_ms");
+  tracer_.store(options_.tracer, std::memory_order_release);
+
   unsigned workers = options_.workers;
   if (workers == 0) {
     workers = std::thread::hardware_concurrency();
@@ -73,12 +94,14 @@ Submission MatchingService::submit(Request request) {
 
   const std::unique_lock lock(mutex_);
   ++stats_.submitted;
+  metrics_.submitted->add();
   if (reject.empty() && !accepting_) reject = "service is shutting down";
   if (reject.empty() && queue_.size() >= options_.queue_depth)
     reject = "admission queue full (depth " +
              std::to_string(options_.queue_depth) + ")";
   if (!reject.empty()) {
     ++stats_.rejected;
+    metrics_.rejected->add();
     out.reason = std::move(reject);
     return out;
   }
@@ -99,7 +122,9 @@ Submission MatchingService::submit(Request request) {
   out.ticket = queued->ticket;
   out.future = pending.future;
   ++stats_.accepted;
+  metrics_.accepted->add();
   queue_.push_back(std::move(queued));
+  metrics_.queue_depth->set(static_cast<double>(queue_.size()));
   work_cv_.notify_one();
   return out;
 }
@@ -157,6 +182,12 @@ MatchingService::take_batch_locked() {
 void MatchingService::serve_batch(
     std::vector<std::unique_ptr<Queued>>& batch) {
   const PipelineInstance& inst = store_.get(batch.front()->instance);
+  obs::Tracer* const tracer = tracer_.load(std::memory_order_acquire);
+  auto dispatch_sp = obs::span(tracer, "dispatch", "serve");
+  if (dispatch_sp) {
+    dispatch_sp.arg("instance", inst.name);
+    dispatch_sp.arg("batch", static_cast<std::int64_t>(batch.size()));
+  }
   std::vector<Response> responses(batch.size());
   std::vector<std::size_t> live;
   live.reserve(batch.size());
@@ -216,6 +247,9 @@ void MatchingService::serve_batch(
       if (!stream) {
         lease.emplace(group_.acquire(profile));
         stream.emplace(lease->engine());
+        if (tracer != nullptr) stream->set_tracer(tracer);
+        if (dispatch_sp)
+          dispatch_sp.arg("engine", static_cast<std::int64_t>(lease->index()));
       }
       return *stream;
     };
@@ -226,6 +260,7 @@ void MatchingService::serve_batch(
     PipelineOptions run;
     run.verify = options_.verify;
     run.solver_threads = options_.solver_threads;
+    run.tracer = tracer;
     // Sharded jobs spread one massive instance across the whole live
     // fleet (shard k on engine k); everyone else ignores the fleet and
     // stays on the leased stream.
@@ -259,6 +294,12 @@ void MatchingService::serve_batch(
     if (batch.size() > 1)
       stats_.coalesced += static_cast<std::uint64_t>(batch.size() - 1);
   }
+  metrics_.expired->add(expired);
+  metrics_.cache_hits->add(shared_hits);
+  metrics_.fanout_hits->add(fanout_hits);
+  metrics_.dispatches->add();
+  if (batch.size() > 1)
+    metrics_.coalesced->add(static_cast<std::uint64_t>(batch.size() - 1));
   for (std::size_t i = 0; i < batch.size(); ++i)
     complete(*batch[i], std::move(responses[i]));
 }
@@ -268,6 +309,48 @@ void MatchingService::complete(Queued& q, Response&& response) {
   response.instance = q.instance;
   response.solver = q.canonical;
   response.total_ms = ms_since(q.submitted);
+
+  metrics_.completed->add();
+  if (!response.ok) metrics_.failed->add();
+  metrics_.latency_ms->observe(response.total_ms);
+  metrics_.queue_ms->observe(response.queue_ms);
+  if (response.service_ms > 0.0)
+    metrics_.service_ms->observe(response.service_ms);
+
+  // The ticket's admission→dispatch→complete lifecycle, reconstructed
+  // from the measured waits now that they are known: a "request" span over
+  // the whole submission→completion interval with its "queued" prefix and
+  // "service" suffix as children (the gap between them is dispatch
+  // screening + cache probing).  Recorded on the completing worker's row.
+  if (obs::Tracer* tracer = tracer_.load(std::memory_order_acquire);
+      tracer != nullptr && tracer->enabled()) {
+    const std::uint64_t end = tracer->now_us();
+    const std::uint64_t total = std::min(end, ms_to_us(response.total_ms));
+    const std::uint64_t start = end - total;
+    std::string args = obs::arg_json(
+        "ticket", static_cast<std::int64_t>(response.ticket));
+    args += ',';
+    args += obs::arg_json("solver", std::string_view(response.solver));
+    args += ',';
+    args += obs::arg_json("ok", std::string_view(response.ok ? "yes" : "no"));
+    if (response.cached) {
+      args += ',';
+      args += obs::arg_json("cached", std::string_view("yes"));
+    }
+    tracer->complete("request", "serve", start, total, std::move(args));
+    tracer->complete("queued", "serve", start,
+                     std::min(total, ms_to_us(response.queue_ms)),
+                     obs::arg_json("ticket",
+                                   static_cast<std::int64_t>(response.ticket)));
+    if (response.service_ms > 0.0) {
+      const std::uint64_t service = std::min(total,
+                                             ms_to_us(response.service_ms));
+      tracer->complete("service", "serve", end - service, service,
+                       obs::arg_json(
+                           "ticket",
+                           static_cast<std::int64_t>(response.ticket)));
+    }
+  }
 
   const std::unique_lock lock(mutex_);
   ++stats_.completed;
@@ -297,6 +380,7 @@ void MatchingService::worker_loop() {
       if (queue_.empty()) return;  // stopping, nothing left to serve
       batch = take_batch_locked();
       in_flight_ += batch.size();
+      metrics_.queue_depth->set(static_cast<double>(queue_.size()));
     }
 
     serve_batch(batch);
@@ -378,6 +462,29 @@ ServiceStats MatchingService::stats() const {
   out.in_flight = in_flight_;
   out.tickets_retained = pending_.size();
   return out;
+}
+
+void MatchingService::publish_metrics(obs::Registry& registry) const {
+  const ServiceStats s = stats();
+  registry.gauge("serve.queue_depth").set(static_cast<double>(s.queued));
+  registry.gauge("serve.in_flight").set(static_cast<double>(s.in_flight));
+  registry.gauge("serve.tickets_retained")
+      .set(static_cast<double>(s.tickets_retained));
+  // Hit rate over everything served without solving (shared-cache hits +
+  // in-batch fan-out), as a fraction of completions.
+  const double completed = static_cast<double>(s.completed);
+  registry.gauge("serve.cache_hit_rate")
+      .set(completed > 0.0
+               ? static_cast<double>(s.cache_hits + s.fanout_hits) / completed
+               : 0.0);
+  for (const EngineGroupEngineStats& e : group_.stats()) {
+    const std::string prefix = "serve.engine." + std::to_string(e.index);
+    registry.gauge(prefix + ".load").set(e.load);
+    registry.gauge(prefix + ".dispatches")
+        .set(static_cast<double>(e.dispatches));
+    registry.set_info(prefix, e.descriptor.summary() +
+                                  (e.retired ? " [retired]" : ""));
+  }
 }
 
 }  // namespace bpm::serve

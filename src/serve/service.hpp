@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -17,6 +18,8 @@
 #include "core/pipeline.hpp"
 #include "core/solver.hpp"
 #include "device/device.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/engine_group.hpp"
 #include "serve/instance_store.hpp"
 #include "serve/result_cache.hpp"
@@ -113,6 +116,14 @@ struct ServiceOptions {
   /// its ledger forever) and polling them yields a distinct `evicted`
   /// response.  0 = keep everything.
   std::size_t completed_ticket_retention = 65536;
+  /// Optional trace sink (swappable later via `set_tracer`): every served
+  /// ticket records its admission→dispatch→complete lifecycle — a
+  /// `"request"` span over submission→completion with nested `"queued"`
+  /// and `"service"` intervals, back-computed at completion from the
+  /// measured waits — plus one `"dispatch"` span per worker batch (batch
+  /// size, routed engine).  Must outlive the service or be cleared with
+  /// `set_tracer(nullptr)` first.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Lifetime counters of a service.  Completed = hits + solved + expired +
@@ -214,6 +225,25 @@ class MatchingService {
   void shutdown();
 
   [[nodiscard]] ServiceStats stats() const;
+
+  /// Swaps the trace sink (null detaches).  Takes effect on the next
+  /// dispatch; the tracer must outlive every in-flight request recorded
+  /// into it.
+  void set_tracer(obs::Tracer* tracer) {
+    tracer_.store(tracer, std::memory_order_release);
+  }
+  [[nodiscard]] obs::Tracer* tracer() const {
+    return tracer_.load(std::memory_order_acquire);
+  }
+
+  /// Publishes the service's live state into `registry` as gauges and
+  /// info entries — queue depth, in-flight count, cache hit rate, and one
+  /// `serve.engine.<i>.*` family per pool engine (load, dispatches, and
+  /// the `EngineDescriptor` summary) — next to the lifetime counters and
+  /// latency histograms the service streams in as it runs.  Call it right
+  /// before snapshotting the registry (`bpm_serve metrics` does).
+  void publish_metrics(obs::Registry& registry) const;
+
   [[nodiscard]] const std::shared_ptr<ResultCache>& cache() const {
     return options_.cache;
   }
@@ -245,6 +275,26 @@ class MatchingService {
     std::shared_future<Response> future;
   };
 
+  /// Live registry instruments, resolved once at construction from
+  /// `obs::Registry::global()` — the hot submit/dispatch/complete paths
+  /// touch striped counters and histograms, never the registry map.
+  struct LiveMetrics {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* accepted = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Counter* expired = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* fanout_hits = nullptr;
+    obs::Counter* dispatches = nullptr;
+    obs::Counter* coalesced = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Histogram* latency_ms = nullptr;   ///< submission → completion
+    obs::Histogram* queue_ms = nullptr;     ///< admission queue wait
+    obs::Histogram* service_ms = nullptr;   ///< own solve + verify
+  };
+
   void worker_loop();
   /// Removes the best queued request (highest priority, FIFO within it)
   /// plus — with coalescing on — every compatible same-instance request,
@@ -259,6 +309,8 @@ class MatchingService {
   ServiceOptions options_;
   EngineGroup group_;
   InstanceStore store_;
+  LiveMetrics metrics_;
+  std::atomic<obs::Tracer*> tracer_{nullptr};
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;  ///< workers: queue non-empty / shutdown
