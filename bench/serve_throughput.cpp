@@ -23,9 +23,23 @@
 // against a bounded queue; completion latency percentiles and rejected
 // (backpressure) counts show the overload behaviour.
 //
+// Socket phase (--socket-clients > 0): N concurrent line-protocol
+// clients drive the full serve stack — schema decode, per-connection
+// session, quota accounting, socket transport — over real TCP.  Each
+// client runs submit/wait rounds against planted-perfect instances
+// (known maximum = n, so every result line is reference-checked), one
+// client probes with malformed lines (every probe must answer `error
+// ...`, never drop the connection's service), and the final `stats`
+// shows per-client quota accounting.  By default the phase spins up an
+// in-process `SocketTransport`; with --connect PORT it drives an
+// external `bpm_serve --listen PORT` instead (add --socket-shutdown to
+// send `shutdown` at the end so that server exits).
+//
 //   serve_throughput --scale 0.002 --inflight 1,2,4,8 --requests 96
 //   serve_throughput --scale 0.002 --engines 4 --coalesce --dup 6
 //   serve_throughput --scale 0.002 --open-rate 200 --queue-depth 16
+//   serve_throughput --socket-clients 4 --socket-requests 6
+//   serve_throughput --socket-clients 4 --connect 7471 --socket-shutdown
 
 #include <algorithm>
 #include <atomic>
@@ -39,6 +53,8 @@
 
 #include "harness_common.hpp"
 #include "serve/service.hpp"
+#include "serve/session.hpp"
+#include "serve/transport.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -160,6 +176,47 @@ std::vector<double> closed_loop(serve::MatchingService& service,
   return latencies;
 }
 
+/// `key=value` scrape out of a protocol response line (e.g. the
+/// cardinality of a `result ...` line); empty when absent.
+std::string response_field(const std::string& line, const std::string& key) {
+  const std::string needle = " " + key + "=";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return {};
+  const std::size_t begin = at + needle.size();
+  return line.substr(begin, line.find(' ', begin) - begin);
+}
+
+/// One socket client's submit/wait rounds against planted instances
+/// whose maximum matching is known by construction.  Returns the number
+/// of wrong/failed responses.
+std::size_t socket_client_rounds(const std::string& host, std::uint16_t port,
+                                 std::size_t rounds,
+                                 const std::vector<std::pair<std::string,
+                                                             long>>& planted,
+                                 std::atomic<std::size_t>& served) {
+  static const char* kSpecs[] = {"g-pr-shr", "hk"};
+  serve::LineClient client(host, port);
+  std::size_t bad = 0;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const auto& [name, n] = planted[r % planted.size()];
+    client.send_line("submit " + name + " " + kSpecs[r % 2]);
+    const auto ticket = client.recv_line();
+    if (!ticket || !ticket->starts_with("ticket ")) {
+      ++bad;
+      continue;
+    }
+    client.send_line("wait " + ticket->substr(7));
+    const auto result = client.recv_line();
+    if (!result || !result->starts_with("result ") ||
+        response_field(*result, "ok") != "1" ||
+        response_field(*result, "cardinality") != std::to_string(n))
+      ++bad;
+    else
+      served.fetch_add(1, std::memory_order_relaxed);
+  }
+  return bad;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -191,6 +248,19 @@ int main(int argc, char** argv) {
                  "duplicate factor of the duplicate-heavy burst phase "
                  "(each mix job submitted this many times; 0 = skip)",
                  "4");
+  cli.add_option("socket-clients",
+                 "concurrent line-protocol clients of the socket phase "
+                 "(0 = skip)",
+                 "0");
+  cli.add_option("socket-requests",
+                 "submit/wait rounds per socket client", "6");
+  cli.add_option("connect",
+                 "drive an external bpm_serve --listen on this port "
+                 "instead of an in-process transport (0 = in-process)",
+                 "0");
+  cli.add_flag("socket-shutdown",
+               "send `shutdown` at the end of the socket phase (so an "
+               "external --connect server exits)");
   SuiteOptions opt;
   PoolConfig pool;
   try {
@@ -434,6 +504,137 @@ int main(int argc, char** argv) {
               << " rejected (backpressure) in " << wall << " ms; latency p50 "
               << percentile(lat, 50) << " ms, p90 " << percentile(lat, 90)
               << " ms, p99 " << percentile(lat, 99) << " ms\n";
+  }
+
+  // ---- socket phase: concurrent clients over the real transport ----------
+  const auto socket_clients =
+      static_cast<std::size_t>(cli.get_int("socket-clients"));
+  if (socket_clients > 0) {
+    const auto rounds =
+        static_cast<std::size_t>(cli.get_int("socket-requests"));
+    const auto connect_port =
+        static_cast<std::uint16_t>(cli.get_int("connect"));
+    const std::string host = "127.0.0.1";
+
+    // In-process stack when no --connect target: service + sessions +
+    // transport, with a per-connection quota generous enough for the
+    // rounds (2 lines each) plus the setup/stats/probe traffic — the
+    // accounting shows up in the final `stats` lines.
+    std::unique_ptr<serve::MatchingService> service;
+    std::unique_ptr<serve::SessionContext> context;
+    std::unique_ptr<serve::SocketTransport> transport;
+    std::uint16_t port = connect_port;
+    if (connect_port == 0) {
+      serve::ServiceOptions sopt =
+          service_options(opt, 4, 4096, nullptr, pool);
+      service = std::make_unique<serve::MatchingService>(sopt);
+      context = std::make_unique<serve::SessionContext>(*service);
+      serve::TransportOptions topt;
+      topt.max_clients = socket_clients + 4;
+      topt.session.quota = 2 * rounds + 16;
+      transport = std::make_unique<serve::SocketTransport>(*context, topt);
+      port = transport->port();
+    }
+
+    // Planted-perfect instances: maximum matching = n by construction,
+    // so result lines are checked without a reference solve — the same
+    // check works against an external server.
+    const std::vector<std::pair<std::string, long>> planted = {
+        {"sockA", 400}, {"sockB", 650}};
+    std::size_t bad = 0;
+    {
+      serve::LineClient setup(host, port);
+      setup.send_line("gen sockA planted 400 2.0 7");
+      setup.send_line("gen sockB planted 650 1.5 9");
+      for (int i = 0; i < 2; ++i) {
+        const auto line = setup.recv_line();
+        if (!line || !line->starts_with("instance ")) ++bad;
+      }
+    }
+
+    std::atomic<std::size_t> served{0};
+    std::atomic<std::size_t> client_bad{0};
+    Timer timer;
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(socket_clients);
+      for (std::size_t c = 0; c < socket_clients; ++c)
+        threads.emplace_back([&] {
+          try {
+            client_bad.fetch_add(
+                socket_client_rounds(host, port, rounds, planted, served),
+                std::memory_order_relaxed);
+          } catch (const std::exception&) {
+            client_bad.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+      for (std::thread& t : threads) t.join();
+    }
+    const double wall = timer.elapsed_ms();
+    bad += client_bad.load();
+
+    // Malformed probes: every one must answer `error ...` — and the
+    // connection must still serve a valid command afterwards.
+    {
+      static const char* kProbes[] = {
+          "submit sockA g-pr prio=abc",
+          "gen broken uniform -5 10 100 1",
+          "gen broken planted 10 1e300 1",
+          "poll 99999999999999999999",
+          "wait not-a-ticket",
+          "submit sockA",
+          "bogus-command 1 2 3",
+          "load broken /nonexistent/file.mtx",
+      };
+      serve::LineClient probe(host, port);
+      for (const char* p : kProbes) {
+        probe.send_line(p);
+        const auto line = probe.recv_line();
+        if (!line || !line->starts_with("error ")) ++bad;
+      }
+      probe.send_line("submit sockA hk");
+      const auto ticket = probe.recv_line();
+      if (!ticket || !ticket->starts_with("ticket ")) ++bad;
+    }
+
+    // Final stats: the transport appends one `client ...` accounting
+    // line per connection and a `transport ...` summary last.
+    std::string transport_line;
+    {
+      serve::LineClient stats(host, port);
+      stats.send_line("stats");
+      for (std::optional<std::string> line; (line = stats.recv_line());) {
+        if (line->starts_with("client "))
+          std::cout << "  " << *line << "\n";
+        if (line->starts_with("transport ")) {
+          transport_line = *line;
+          break;
+        }
+      }
+      if (transport_line.empty()) ++bad;
+      if (cli.get_flag("socket-shutdown")) {
+        stats.send_line("shutdown");
+        const auto line = stats.recv_line();
+        if (!line || !line->starts_with("ok shutdown")) ++bad;
+      }
+    }
+
+    const std::size_t total = socket_clients * rounds;
+    all_ok &= bad == 0 && served.load() == total;
+    std::cout << "\nsocket phase (" << socket_clients << " clients x "
+              << rounds << " submit/wait rounds over TCP"
+              << (connect_port == 0
+                      ? std::string(", in-process transport")
+                      : " against --connect " +
+                            std::to_string(connect_port))
+              << "):\n"
+              << "  wall " << wall << " ms, "
+              << static_cast<double>(total) / (wall / 1e3)
+              << " req/s; served=" << served.load() << "/" << total
+              << " bad=" << bad << "\n"
+              << "  " << transport_line << "\n";
+    if (transport) transport->stop();
+    if (service) service->shutdown();
   }
 
   try {

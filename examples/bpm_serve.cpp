@@ -1,19 +1,22 @@
 // bpm_serve — a long-running matching service behind a line-delimited
-// request protocol, driven from a script file (--script) or stdin.  The
-// service owns a pool of --engines device engines for its whole lifetime
-// (dispatches routed by --routing: round-robin, least-loaded, or
-// instance affinity), dedups registered graphs by structural fingerprint,
-// schedules requests from a bounded priority queue — coalescing
-// same-instance queued requests into one dispatch batch unless
-// --no-coalesce — and (with --cache-bytes > 0) serves repeated
-// (instance, solver spec) requests from a persistent result cache that
-// can be snapshotted to disk and reloaded on restart.
+// request protocol, driven from a script file (--script), stdin, or a
+// TCP socket (--listen).  The service owns a pool of --engines device
+// engines for its whole lifetime (dispatches routed by --routing:
+// round-robin, least-loaded, or instance affinity), dedups registered
+// graphs by structural fingerprint, schedules requests from a bounded
+// priority queue — coalescing same-instance queued requests into one
+// dispatch batch unless --no-coalesce — and (with --cache-bytes > 0)
+// serves repeated (instance, solver spec) requests from a persistent
+// result cache that can be snapshotted to disk and reloaded on restart.
 //
 //   bpm_serve --script examples/serve_smoke.req
 //   bpm_serve --engines 4 --routing affinity < requests.txt
+//   bpm_serve --listen 7471 --quota 1000 --auth-token s3cret
 //   bpm_serve --cache-load warm.cache --cache-save warm.cache < requests.txt
 //
 // Protocol (one command per line; '#' starts a comment):
+//   auth <token>                       authenticate (only if the server
+//                                      runs with --auth-token)
 //   load <name> <file.mtx>             register a Matrix Market graph
 //   gen <name> uniform <rows> <cols> <edges> <seed>
 //   gen <name> planted <n> <extra_degree> <seed>
@@ -25,6 +28,9 @@
 //   wait <ticket>                      block until the result line
 //   drain                              block until the queue is empty
 //   stats                              service + cache + engine counters
+//                                      (over --listen: plus one `client ...`
+//                                      accounting line per connection and a
+//                                      final `transport ...` summary)
 //   metrics                            global metrics registry as JSON
 //                                      (queue depth, per-engine load, cache
 //                                      hit rate, latency percentiles)
@@ -34,257 +40,36 @@
 //                                      at trace-start (recording continues)
 //   save-cache <path> | load-cache <path>
 //   shutdown                           stop accepting, drain, exit
+//
+// Every request is decoded against the typed schema in serve/proto:
+// numbers are parsed checked (full-token, range-validated — never a raw
+// stoi), dimensions/degrees are bounds-checked before a generator runs,
+// and any malformed line answers a single machine-readable
+//   error code=<kebab-name> msg="<detail>"
+// line instead of terminating the process.  In script/stdin mode errors
+// also fail the final exit code unless --tolerate-errors; over --listen
+// they only count against the offending client.  With --quota N each
+// connection may execute at most N commands (then `error
+// code=quota-exceeded`); with --auth-token T every connection must `auth
+// T` first.  Lines longer than --max-line end the offending session.
 
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "graph/generators.hpp"
-#include "graph/instances.hpp"
-#include "graph/matrix_market.hpp"
 #include "obs/metrics.hpp"
-#include "obs/trace.hpp"
 #include "serve/service.hpp"
+#include "serve/session.hpp"
+#include "serve/transport.hpp"
 #include "util/cli.hpp"
 
-namespace {
-
-using namespace bpm;
-
-void print_response(const serve::Response& r) {
-  std::cout << "result ticket=" << r.ticket << " instance=" << r.instance_name
-            << " solver=" << r.solver << " ok=" << (r.ok ? 1 : 0)
-            << " cached=" << (r.cached ? 1 : 0)
-            << " cardinality=" << r.stats.cardinality
-            << " queue_ms=" << r.queue_ms << " service_ms=" << r.service_ms
-            << " total_ms=" << r.total_ms;
-  if (!r.error.empty()) std::cout << " error=\"" << r.error << "\"";
-  std::cout << "\n";
-}
-
-graph::BipartiteGraph generate(const std::vector<std::string>& args) {
-  // args: <kind> <params...> (the command name and instance name are gone).
-  const auto want = [&](std::size_t n, const char* usage) {
-    if (args.size() != n + 1)
-      throw std::invalid_argument(std::string("gen ") + usage);
-  };
-  const auto arg_i = [&](std::size_t i) {
-    return static_cast<graph::index_t>(std::stol(args[i]));
-  };
-  const auto arg_u = [&](std::size_t i) {
-    return static_cast<std::uint64_t>(std::stoull(args[i]));
-  };
-  const std::string& kind = args[0];
-  if (kind == "uniform") {
-    want(4, "<name> uniform <rows> <cols> <edges> <seed>");
-    return graph::gen::random_uniform(
-        arg_i(1), arg_i(2), static_cast<graph::offset_t>(std::stoll(args[3])),
-        arg_u(4));
-  }
-  if (kind == "planted") {
-    want(3, "<name> planted <n> <extra_degree> <seed>");
-    return graph::gen::planted_perfect(arg_i(1), std::stod(args[2]), arg_u(3));
-  }
-  if (kind == "chung-lu") {
-    want(5, "<name> chung-lu <rows> <cols> <avg_degree> <gamma> <seed>");
-    return graph::gen::chung_lu(arg_i(1), arg_i(2), std::stod(args[3]),
-                                std::stod(args[4]), arg_u(5));
-  }
-  if (kind == "instance") {
-    want(3, "<name> instance <paper-name> <scale> <seed>");
-    for (const auto& inst : graph::paper_instances())
-      if (inst.name == args[1]) return inst.build(std::stod(args[2]), arg_u(3));
-    throw std::invalid_argument("unknown paper instance '" + args[1] + "'");
-  }
-  if (kind == "huge") {
-    // Streamed CSR generation: peak memory is the final graph, so the
-    // service can register instances far past what an edge-list generator
-    // would fit — the shape `g-pr-sh:shards=K` serving is for.
-    want(6,
-         "<name> huge <rows> <cols> <avg_degree> <hub_fraction> <hub_every> "
-         "<seed>");
-    return graph::gen::huge_bipartite(arg_i(1), arg_i(2), std::stod(args[3]),
-                                      std::stod(args[4]), arg_i(5), arg_u(6));
-  }
-  throw std::invalid_argument(
-      "unknown generator '" + kind +
-      "' (uniform | planted | chung-lu | instance | huge)");
-}
-
-/// The process's trace recorder behind `trace-start` / `trace-dump`:
-/// constructed idle; `trace-start` enables it and attaches it to the
-/// service so every subsequent request records its lifecycle.
-struct TraceState {
-  obs::Tracer tracer;
-  std::string path;  ///< where `trace-dump` writes; set by trace-start
-};
-
-/// Executes one protocol line; returns false on `shutdown`.
-bool execute(serve::MatchingService& service, TraceState& trace,
-             const std::string& line, bool echo) {
-  std::istringstream is(line);
-  std::vector<std::string> tok;
-  for (std::string t; is >> t;) tok.push_back(t);
-  if (tok.empty() || tok.front().starts_with('#')) return true;
-  if (echo) std::cout << "> " << line << "\n";
-  const std::string& cmd = tok.front();
-
-  if (cmd == "shutdown") {
-    service.shutdown();
-    return false;
-  }
-  if (cmd == "drain") {
-    service.drain();
-    std::cout << "drained\n";
-    return true;
-  }
-  if (cmd == "stats") {
-    const serve::ServiceStats s = service.stats();
-    std::cout << "stats submitted=" << s.submitted
-              << " accepted=" << s.accepted << " rejected=" << s.rejected
-              << " completed=" << s.completed << " failed=" << s.failed
-              << " expired=" << s.expired << " cache_hits=" << s.cache_hits
-              << " fanout_hits=" << s.fanout_hits
-              << " dispatches=" << s.dispatches
-              << " coalesced=" << s.coalesced << " queued=" << s.queued
-              << " in_flight=" << s.in_flight
-              << " tickets_retained=" << s.tickets_retained
-              << " evicted_tickets=" << s.evicted_tickets
-              << " instances=" << service.instances().size() << "\n";
-    if (service.cache()) {
-      const serve::CacheStats c = service.cache()->stats();
-      std::cout << "cache entries=" << c.entries << " bytes=" << c.bytes
-                << " hits=" << c.hits << " misses=" << c.misses
-                << " insertions=" << c.insertions
-                << " evictions=" << c.evictions << "\n";
-    }
-    // Per-engine line: what the engine IS (the full EngineDescriptor
-    // summary — backend, lanes/workers, NUMA pin) right next to what it
-    // is DOING (its in-flight load and lifetime odometers).
-    for (const serve::EngineGroupEngineStats& e :
-         service.engine_group().stats())
-      std::cout << "engine " << e.index << " descriptor="
-                << e.descriptor.summary() << (e.retired ? " retired" : "")
-                << " load=" << e.load << " dispatches=" << e.dispatches
-                << " streams_opened=" << e.device.streams_opened
-                << " streams_retired=" << e.device.streams_retired
-                << " launches=" << e.device.launches
-                << " modeled_ms=" << e.device.modeled_ms
-                << " native_ms=" << e.device.native_ms << "\n";
-    return true;
-  }
-  if (cmd == "metrics") {
-    // Live registry snapshot: the service's streamed counters/histograms
-    // plus the point-in-time gauges published right now (queue depth,
-    // per-engine load, cache hit rate).
-    service.publish_metrics(obs::Registry::global());
-    if (service.cache()) {
-      const serve::CacheStats c = service.cache()->stats();
-      obs::Registry::global()
-          .gauge("serve.cache_bytes")
-          .set(static_cast<double>(c.bytes));
-      obs::Registry::global()
-          .gauge("serve.cache_entries")
-          .set(static_cast<double>(c.entries));
-    }
-    std::cout << obs::Registry::global().snapshot_json() << "\n";
-    return true;
-  }
-  if (cmd == "trace-start") {
-    if (tok.size() != 2) throw std::invalid_argument("trace-start <path>");
-    trace.path = tok[1];
-    trace.tracer.enable();
-    service.set_tracer(&trace.tracer);
-    std::cout << "tracing started (dump target " << trace.path << ")\n";
-    return true;
-  }
-  if (cmd == "trace-dump") {
-    if (trace.path.empty())
-      throw std::invalid_argument("trace-dump before trace-start");
-    if (!trace.tracer.write_file(trace.path))
-      throw std::runtime_error("cannot write trace to '" + trace.path + "'");
-    std::cout << "trace written to " << trace.path << " ("
-              << trace.tracer.events().size() << " events, "
-              << trace.tracer.dropped() << " dropped)\n";
-    return true;
-  }
-  if (cmd == "load" || cmd == "gen") {
-    if (tok.size() < 3)
-      throw std::invalid_argument(cmd + " <name> <source...>");
-    graph::BipartiteGraph g =
-        cmd == "load" ? graph::read_matrix_market_file(tok[2])
-                      : generate({tok.begin() + 2, tok.end()});
-    const auto added = service.add_instance(tok[1], std::move(g));
-    const auto& inst = service.instances().get(added.handle);
-    std::cout << "instance " << tok[1] << " handle=" << added.handle
-              << (added.deduplicated ? " (deduplicated)" : "") << " "
-              << inst.graph.describe() << " max=" << inst.maximum_cardinality
-              << "\n";
-    return true;
-  }
-  if (cmd == "submit") {
-    if (tok.size() < 3)
-      throw std::invalid_argument(
-          "submit <instance> <spec> [prio=<n>] [deadline=<ms>]");
-    serve::Request req;
-    const auto handle = service.instances().find(tok[1]);
-    if (!handle)
-      throw std::invalid_argument("unknown instance '" + tok[1] + "'");
-    req.instance = *handle;
-    req.spec = SolverSpec::parse(tok[2]);
-    for (std::size_t i = 3; i < tok.size(); ++i) {
-      if (tok[i].starts_with("prio="))
-        req.priority = std::stoi(tok[i].substr(5));
-      else if (tok[i].starts_with("deadline="))
-        req.deadline_ms = std::stod(tok[i].substr(9));
-      else
-        throw std::invalid_argument("unknown submit argument '" + tok[i] +
-                                    "'");
-    }
-    const serve::Submission sub = service.submit(std::move(req));
-    if (sub.accepted)
-      std::cout << "ticket " << sub.ticket << "\n";
-    else
-      std::cout << "rejected reason=\"" << sub.reason << "\"\n";
-    return true;
-  }
-  if (cmd == "poll" || cmd == "wait") {
-    if (tok.size() != 2) throw std::invalid_argument(cmd + " <ticket>");
-    const auto ticket = static_cast<std::uint64_t>(std::stoull(tok[1]));
-    if (cmd == "wait") {
-      print_response(service.wait(ticket));
-    } else if (const auto r = service.poll(ticket)) {
-      print_response(*r);
-    } else {
-      std::cout << "pending ticket=" << ticket << "\n";
-    }
-    return true;
-  }
-  if (cmd == "save-cache" || cmd == "load-cache") {
-    if (tok.size() != 2) throw std::invalid_argument(cmd + " <path>");
-    if (!service.cache())
-      throw std::invalid_argument("service runs without a cache");
-    if (cmd == "save-cache") {
-      if (!service.cache()->save_file(tok[1]))
-        throw std::runtime_error("cannot write '" + tok[1] + "'");
-      std::cout << "cache saved to " << tok[1] << "\n";
-    } else {
-      std::cout << "cache loaded " << service.cache()->load_file(tok[1])
-                << " entries from " << tok[1] << "\n";
-    }
-    return true;
-  }
-  throw std::invalid_argument("unknown command '" + cmd + "' (try --help)");
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
+  using namespace bpm;
+
   CliParser cli("bpm_serve",
                 "long-running matching service driven by a line-delimited "
-                "request protocol (script file or stdin)");
+                "request protocol (script file, stdin, or TCP socket)");
   cli.add_option("script", "request script (empty = read stdin)", "");
   cli.add_option("workers", "concurrent dispatches, one device stream each",
                  "2");
@@ -321,6 +106,23 @@ int main(int argc, char** argv) {
   cli.add_option("cache-save", "snapshot the cache here on shutdown", "");
   cli.add_flag("no-verify", "skip per-request verification");
   cli.add_flag("echo", "echo every protocol command before its reply");
+  cli.add_option("listen",
+                 "after the script/stdin phase, serve a TCP socket on this "
+                 "port until a client sends `shutdown` (0 = ephemeral port; "
+                 "empty = no socket)",
+                 "");
+  cli.add_option("auth-token",
+                 "socket clients must `auth <token>` first (empty = off)",
+                 "");
+  cli.add_option("quota",
+                 "max commands per socket connection (0 = unlimited)", "0");
+  cli.add_option("max-line", "per-connection line budget in bytes", "65536");
+  cli.add_option("max-clients", "concurrent socket connections", "64");
+  cli.add_option("transport-executors",
+                 "socket command executor threads (0 = 4)", "0");
+  cli.add_flag("tolerate-errors",
+               "script/stdin `error ...` responses do not fail the exit "
+               "code (malformed-input smoke runs)");
 
   try {
     cli.parse(argc, argv);
@@ -356,16 +158,20 @@ int main(int argc, char** argv) {
           .byte_budget = cache_bytes,
           .shards = static_cast<unsigned>(cli.get_int("cache-shards"))});
 
-    // Declared before the service: once trace-start attaches the tracer,
-    // the service holds a pointer into it, so it must destruct last.
-    TraceState trace;
     serve::MatchingService service(opt);
+    // Shared by the local session and every socket session; holds the
+    // tracer the service points into, so it outlives all of them.
+    serve::SessionContext context(service);
     if (!cli.get_string("cache-load").empty() && service.cache()) {
       const std::size_t n =
           service.cache()->load_file(cli.get_string("cache-load"));
       std::cout << "cache warmed with " << n << " entries from "
                 << cli.get_string("cache-load") << "\n";
     }
+
+    serve::Session::Options local_options;
+    local_options.limits.max_line_bytes =
+        static_cast<std::size_t>(cli.get_int("max-line"));
 
     std::ifstream script;
     const bool from_file = !cli.get_string("script").empty();
@@ -375,20 +181,51 @@ int main(int argc, char** argv) {
         throw std::runtime_error("cannot read script '" +
                                  cli.get_string("script") + "'");
     }
-    std::istream& in = from_file ? script : std::cin;
     const bool echo = cli.get_flag("echo") || from_file;
+    const bool listen = !cli.get_string("listen").empty();
 
-    bool failed = false;
-    for (std::string line; std::getline(in, line);) {
-      try {
-        if (!execute(service, trace, line, echo)) break;
-      } catch (const std::exception& e) {
-        // A bad command must not take the service down — report and go on
-        // (the process still exits nonzero so scripted runs fail loudly).
-        std::cout << "error: " << e.what() << "\n";
-        failed = true;
+    // Phase 1: the local script/stdin session.  With --listen and no
+    // --script, stdin is skipped entirely (the socket is the interface).
+    bool shutdown_seen = false;
+    std::uint64_t local_errors = 0;
+    if (from_file || !listen) {
+      serve::Session session(context, local_options);
+      std::istream& in = from_file ? script : std::cin;
+      for (std::string line; std::getline(in, line);) {
+        if (echo) std::cout << "> " << line << "\n";
+        const serve::Session::Outcome out = session.execute(line);
+        for (const std::string& l : out.lines) std::cout << l << "\n";
+        if (out.shutdown) {
+          shutdown_seen = true;
+          break;
+        }
+        if (out.close) break;  // oversized line: framing is suspect
       }
+      local_errors = session.errors();
     }
+
+    // Phase 2: the socket transport, until a client sends `shutdown`.
+    if (listen && !shutdown_seen) {
+      serve::TransportOptions topt;
+      topt.port = static_cast<std::uint16_t>(cli.get_int("listen"));
+      topt.max_clients =
+          static_cast<std::size_t>(cli.get_int("max-clients"));
+      topt.executors =
+          static_cast<unsigned>(cli.get_int("transport-executors"));
+      topt.session.auth_token = cli.get_string("auth-token");
+      topt.session.quota =
+          static_cast<std::uint64_t>(cli.get_int("quota"));
+      topt.session.limits = local_options.limits;
+      serve::SocketTransport transport(context, topt);
+      std::cout << "listening on " << transport.port() << std::endl;
+      transport.wait_shutdown();
+      transport.stop();
+      const serve::TransportStats ts = transport.stats();
+      std::cout << "transport served accepted=" << ts.accepted
+                << " refused=" << ts.refused << " closed=" << ts.closed
+                << " lines=" << ts.lines << " errors=" << ts.errors << "\n";
+    }
+
     service.shutdown();
     if (!cli.get_string("cache-save").empty() && service.cache()) {
       if (!service.cache()->save_file(cli.get_string("cache-save")))
@@ -397,6 +234,7 @@ int main(int argc, char** argv) {
       std::cout << "cache snapshot written to " << cli.get_string("cache-save")
                 << "\n";
     }
+    const bool failed = local_errors > 0 && !cli.get_flag("tolerate-errors");
     return failed ? 1 : 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -18,6 +18,19 @@ void require(bool cond, const char* what) {
   if (!cond) throw std::invalid_argument(what);
 }
 
+/// `per * n` as an edge count.  The cast of an out-of-range double to
+/// offset_t is undefined behaviour, not a saturated big number — so a
+/// request like planted_perfect(1000, 1e18, ...) must be rejected here,
+/// before the cast, with a usable message.
+offset_t checked_count(double per, double n, const char* what) {
+  const double product = per * n;
+  if (!(product >= 0.0) ||
+      product >= static_cast<double>(std::numeric_limits<offset_t>::max()))
+    throw std::invalid_argument(std::string(what) +
+                                ": implied edge count overflows");
+  return static_cast<offset_t>(product);
+}
+
 /// Emit both (i,j) and (j,i) — generators that model symmetric adjacency
 /// matrices of undirected graphs use this.
 void push_symmetric(std::vector<Edge>& edges, index_t i, index_t j) {
@@ -55,8 +68,8 @@ BipartiteGraph planted_perfect(index_t n, double extra_degree,
   std::shuffle(perm.begin(), perm.end(), rng);
 
   std::vector<Edge> edges;
-  const auto extra =
-      static_cast<offset_t>(extra_degree * static_cast<double>(n));
+  const offset_t extra =
+      checked_count(extra_degree, static_cast<double>(n), "planted_perfect");
   edges.reserve(static_cast<std::size_t>(n + extra));
   for (index_t u = 0; u < n; ++u)
     edges.push_back({u, perm[static_cast<std::size_t>(u)]});
@@ -75,8 +88,8 @@ BipartiteGraph rmat(int scale, double edge_factor, std::uint64_t seed,
   require(a > 0 && b > 0 && c > 0 && d > 0, "rmat: bad quadrant probabilities");
 
   const index_t n = static_cast<index_t>(1) << scale;
-  const auto num_edges =
-      static_cast<offset_t>(edge_factor * static_cast<double>(n));
+  const offset_t num_edges =
+      checked_count(edge_factor, static_cast<double>(n), "rmat");
   Rng rng(seed);
   std::vector<Edge> edges;
   edges.reserve(static_cast<std::size_t>(num_edges));
@@ -130,8 +143,9 @@ BipartiteGraph chung_lu(index_t num_rows, index_t num_cols, double avg_degree,
     return static_cast<index_t>(std::distance(cdf.begin(), it));
   };
 
-  const auto num_edges = static_cast<offset_t>(
-      avg_degree * static_cast<double>(std::min(num_rows, num_cols)));
+  const offset_t num_edges = checked_count(
+      avg_degree, static_cast<double>(std::min(num_rows, num_cols)),
+      "chung_lu");
   std::vector<Edge> edges;
   edges.reserve(static_cast<std::size_t>(num_edges));
   for (offset_t e = 0; e < num_edges; ++e) {
@@ -159,10 +173,10 @@ BipartiteGraph skewed_hubs(index_t num_rows, index_t num_cols,
   require(background_degree >= 0.0, "skewed_hubs: negative degree");
   Rng rng(seed);
 
-  const auto hub_degree = static_cast<offset_t>(
-      hub_fraction * static_cast<double>(num_rows));
-  const auto background = static_cast<offset_t>(
-      background_degree * static_cast<double>(num_cols));
+  const offset_t hub_degree = checked_count(
+      hub_fraction, static_cast<double>(num_rows), "skewed_hubs");
+  const offset_t background = checked_count(
+      background_degree, static_cast<double>(num_cols), "skewed_hubs");
   std::vector<Edge> edges;
   edges.reserve(static_cast<std::size_t>(
       static_cast<offset_t>(num_hubs) * hub_degree + background));
@@ -285,6 +299,9 @@ BipartiteGraph copaper(index_t num_vertices, index_t num_communities,
   require(num_vertices > 0, "copaper: no vertices");
   require(num_communities > 0, "copaper: no communities");
   require(avg_community >= 2.0, "copaper: communities need >= 2 members");
+  // Sizes are capped at kMaxCommunity below; the sampling width is cast
+  // to an integer first, so it must be bounded before the cast, not after.
+  require(avg_community <= 1e6, "copaper: average community size too large");
   Rng rng(seed);
 
   constexpr index_t kMaxCommunity = 64;  // keeps |E| = O(sum s^2) bounded
@@ -321,9 +338,9 @@ BipartiteGraph huge_bipartite(index_t num_rows, index_t num_cols,
   require(hub_every >= 0, "huge_bipartite: negative hub_every");
   Rng rng(seed);
 
-  const auto base = static_cast<offset_t>(avg_degree);
-  const auto hub_degree = static_cast<offset_t>(
-      hub_fraction * static_cast<double>(num_rows));
+  const offset_t base = checked_count(avg_degree, 1.0, "huge_bipartite");
+  const offset_t hub_degree = checked_count(
+      hub_fraction, static_cast<double>(num_rows), "huge_bipartite");
 
   // Column pass: sample each column's neighbours straight into the column
   // CSR.  `scratch` (one column's samples) is the only transient — no

@@ -51,6 +51,12 @@ BipartiteGraph read_matrix_market(std::istream& in) {
                          symmetry == "hermitian";
   if (!symmetric && symmetry != "general")
     fail(line_no, "unsupported symmetry '" + symmetry + "'");
+  // A skew-symmetric matrix has A = -A^T, so its values carry the sign —
+  // a pattern field (no values) cannot express that.  The combination is
+  // a malformed header, not a representable matrix.
+  if (pattern && symmetry == "skew-symmetric")
+    fail(line_no, "contradictory header: 'pattern' cannot be "
+                  "'skew-symmetric' (signs require values)");
 
   // --- Size line (skipping comments) --------------------------------------
   long long nrows = -1, ncols = -1, nnz = -1;
@@ -103,6 +109,15 @@ BipartiteGraph read_matrix_market(std::istream& in) {
     ++seen;
   }
   if (seen != nnz) fail(line_no, "fewer entries than declared");
+  // The declared nnz is a contract: trailing entries mean the header lied
+  // (or two files were concatenated) — silently dropping them would hand
+  // back a graph that is NOT what the file describes.
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '%') continue;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    fail(line_no, "more entries than the declared " + std::to_string(nnz));
+  }
 
   return build_from_edges(static_cast<index_t>(nrows),
                           static_cast<index_t>(ncols), edges);

@@ -41,6 +41,19 @@ TEST(Generators, PlantedPerfectAlwaysHasPerfectMatching) {
   }
 }
 
+TEST(Generators, RejectsOverflowingImpliedEdgeCounts) {
+  // Degrees whose edge count cannot fit offset_t must throw — the cast
+  // of an out-of-range double to an integer is UB, not a big number.
+  EXPECT_THROW(planted_perfect(1000, 1e18, 1), std::invalid_argument);
+  EXPECT_THROW(planted_perfect(10, 1e300, 1), std::invalid_argument);
+  EXPECT_THROW(chung_lu(1000, 1000, 1e17, 2.5, 1), std::invalid_argument);
+  EXPECT_THROW(rmat(10, 1e17, 1), std::invalid_argument);
+  EXPECT_THROW(skewed_hubs(1000, 1000, 1, 0.5, 1e17, 1),
+               std::invalid_argument);
+  EXPECT_THROW(huge_bipartite(1000, 1000, 1e300, 0.0, 0, 1),
+               std::invalid_argument);
+}
+
 TEST(Generators, RmatShapeAndSkew) {
   const BipartiteGraph g = rmat(10, 8.0, 3);
   EXPECT_EQ(g.num_rows(), 1024);

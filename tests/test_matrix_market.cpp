@@ -113,6 +113,49 @@ TEST(MatrixMarket, WriteReadRoundTrip) {
   EXPECT_EQ(h.col_adj(), g.col_adj());
 }
 
+TEST(MatrixMarket, RejectsTrailingEntriesBeyondDeclaredNnz) {
+  // The header declares 2 entries but the file carries 3: silently
+  // ignoring the tail would return a graph that is not what the file
+  // describes.
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 3 2\n"
+      "1 1\n"
+      "2 2\n"
+      "3 3\n");
+  EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarket, AllowsTrailingCommentsAndBlankLines) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 3 2\n"
+      "1 1\n"
+      "2 2\n"
+      "% a trailing comment is fine\n"
+      "   \n"
+      "\n");
+  EXPECT_EQ(read_matrix_market(in).num_edges(), 2);
+}
+
+TEST(MatrixMarket, RejectsPatternSkewSymmetricHeader) {
+  // skew-symmetric needs signed values; a pattern field has none — the
+  // combination is a contradiction, not a representable matrix.
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern skew-symmetric\n"
+      "3 3 1\n"
+      "2 1\n");
+  EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarket, RealSkewSymmetricStillReads) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "3 3 1\n"
+      "2 1 -4.0\n");
+  EXPECT_EQ(read_matrix_market(in).num_edges(), 2);  // mirrored
+}
+
 TEST(MatrixMarket, FileNotFoundThrows) {
   EXPECT_THROW(read_matrix_market_file("/nonexistent/path.mtx"),
                std::runtime_error);
