@@ -175,6 +175,7 @@ int main(int argc, char** argv) {
     bi.initial_cardinality = bi.init.cardinality();
     bi.maximum_cardinality =
         matching::hopcroft_karp(bi.g, bi.init).cardinality();
+    compute_instance_features(bi);
 
     std::vector<Table::Cell> row{
         inst.name, inst.suite,
@@ -194,7 +195,7 @@ int main(int argc, char** argv) {
       series[group_of(inst.suite)][a].modeled.push_back(best.modeled_seconds);
       records.push_back(to_json_record(inst.name, inst.suite,
                                        opt.algos[a].canonical(), best,
-                                       opt.backend));
+                                       opt.backend, &bi.features));
     }
     for (std::size_t a = 1; a < solvers.size(); ++a)
       row.emplace_back(wall[0] / wall[a]);

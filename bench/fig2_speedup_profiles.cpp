@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
     all_ok &= pr.ok;
     records.push_back(
         to_json_record(bi.meta.name, to_string(bi.meta.cls), "seq-pr", pr,
-                       opt.backend));
+                       opt.backend, &bi.features));
     if (opt.verbose)
       std::cout << "  " << bi.meta.name << ": PR=" << pr.seconds << "s";
     for (std::size_t i = 0; i < solvers.size(); ++i) {
@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
       speedups[i].push_back(pr.seconds / device_seconds(r, opt));
       records.push_back(to_json_record(bi.meta.name, to_string(bi.meta.cls),
                                        opt.algos[i].canonical(), r,
-                                       opt.backend));
+                                       opt.backend, &bi.features));
       if (opt.verbose)
         std::cout << "  " << opt.algos[i].canonical() << " x"
                   << speedups[i].back();

@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
       all_ok &= r.ok;
       records.push_back(
           to_json_record(bi.meta.name, to_string(bi.meta.cls), names[i], r,
-                         opt.backend));
+                         opt.backend, &bi.features));
       const double t = device_seconds(r, opt);
       times[i].push_back(t);
       if (i == 0) first = t;

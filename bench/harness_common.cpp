@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <stdexcept>
@@ -107,16 +108,21 @@ SuiteOptions suite_options_from_cli(const CliParser& cli) {
   return opt;
 }
 
+void compute_instance_features(BuiltInstance& bi) {
+  bi.features = policy::compute_features(bi.g, bi.initial_cardinality);
+}
+
 BuiltInstance build_instance(const graph::Instance& meta,
                              const SuiteOptions& opt) {
   BuiltInstance bi{meta, meta.build(opt.scale, opt.seed + static_cast<std::uint64_t>(meta.id)),
-                   {}, 0, 0};
+                   {}, 0, 0, {}};
   bi.init = matching::cheap_matching(bi.g);
   bi.initial_cardinality = bi.init.cardinality();
   // Ground truth via Hopcroft–Karp (thoroughly tested against the O(V·E)
   // reference in tests/); the quadratic reference would dominate harness
   // time at bench scales.
   bi.maximum_cardinality = matching::hopcroft_karp(bi.g, bi.init).cardinality();
+  compute_instance_features(bi);
   return bi;
 }
 
@@ -161,7 +167,97 @@ std::vector<BuiltInstance> build_massive_suite(const SuiteOptions& opt) {
     bi.initial_cardinality = bi.init.cardinality();
     bi.maximum_cardinality =
         matching::hopcroft_karp(bi.g, bi.init).cardinality();
+    compute_instance_features(bi);
     out.push_back(std::move(bi));
+  }
+  return out;
+}
+
+std::vector<PolicyInstance> build_policy_suite(graph::index_t n,
+                                               double massive_scale,
+                                               std::uint64_t seed,
+                                               double structured_scale) {
+  namespace gen = graph::gen;
+  using graph::index_t;
+  const auto frac = [](index_t base, double f) {
+    return std::max<index_t>(1, static_cast<index_t>(f * base));
+  };
+  struct Spec {
+    const char* name;
+    const char* suite;
+    std::function<graph::BipartiteGraph()> make;
+  };
+  // Mirrors balance_skew's instance_set: a uniform control group and a
+  // degree-skewed group, so the policy is calibrated across both regimes
+  // the balanced/vertex-parallel split distinguishes.
+  const std::vector<Spec> specs{
+      {"uniform_random", "uniform",
+       [n, seed] {
+         return gen::random_uniform(n, n, 5 * static_cast<graph::offset_t>(n),
+                                    seed);
+       }},
+      {"uniform_deficient", "uniform",
+       [n, seed, frac] {
+         return gen::random_uniform(frac(n, 0.95), n,
+                                    5 * static_cast<graph::offset_t>(n), seed);
+       }},
+      {"planted", "uniform",
+       [n, seed] { return gen::planted_perfect(n, 2.0, seed); }},
+      {"hub_block", "skew",
+       [n, seed, frac] {
+         return gen::skewed_hubs(frac(n, 0.9), n, std::max<index_t>(8, n / 16),
+                                 0.016, 2.5, seed, /*scatter=*/false);
+       }},
+      {"hub_block_sparse", "skew",
+       [n, seed, frac] {
+         return gen::skewed_hubs(frac(n, 0.88), n,
+                                 std::max<index_t>(8, n / 12), 0.012, 2.5,
+                                 seed, /*scatter=*/false);
+       }},
+      {"power_law", "skew",
+       [n, seed, frac] {
+         return gen::chung_lu(frac(n, 0.9), n, 6.0, 2.2, seed);
+       }},
+  };
+  std::vector<PolicyInstance> out;
+  out.reserve(specs.size() + 2);
+  for (const Spec& s : specs) {
+    BuiltInstance bi;
+    bi.meta.name = s.name;
+    bi.g = s.make();
+    bi.init = matching::cheap_matching(bi.g);
+    bi.initial_cardinality = bi.init.cardinality();
+    bi.maximum_cardinality =
+        matching::hopcroft_karp(bi.g, bi.init).cardinality();
+    compute_instance_features(bi);
+    out.push_back({s.suite, std::move(bi)});
+  }
+  if (structured_scale > 0.0) {
+    // Table I shapes with near-perfect greedy inits (meshes, traces,
+    // co-author graphs): short augmenting paths make the augmenting-path
+    // family (pf, hk, p-dbfs) beat push-relabel here, often severalfold —
+    // the heterogeneity that makes per-instance selection worth having.
+    const char* const structured[] = {"coPapersDBLP", "hugetrace-00020",
+                                      "hugebubbles-00000"};
+    SuiteOptions so;
+    so.scale = structured_scale;
+    so.seed = seed;
+    for (const char* name : structured) {
+      const graph::Instance* meta = nullptr;
+      for (const auto& inst : graph::paper_instances())
+        if (inst.name == name) meta = &inst;
+      if (meta == nullptr)
+        throw std::logic_error(std::string("policy suite lost instance ") +
+                               name);
+      out.push_back({"structured", build_instance(*meta, so)});
+    }
+  }
+  if (massive_scale > 0.0) {
+    SuiteOptions massive;
+    massive.scale = massive_scale;
+    massive.seed = seed;
+    for (BuiltInstance& bi : build_massive_suite(massive))
+      out.push_back({"massive", std::move(bi)});
   }
   return out;
 }
@@ -204,6 +300,12 @@ PipelineInstance to_pipeline_instance(const BuiltInstance& bi) {
   inst.initial_cardinality = bi.initial_cardinality;
   inst.maximum_cardinality = bi.maximum_cardinality;
   inst.fingerprint = graph::structural_fingerprint(bi.g);
+  // Carry (or fill) the policy features so a service admitting this
+  // instance resolves `auto` requests without recomputing them.
+  inst.features = bi.features.edges > 0
+                      ? bi.features
+                      : policy::compute_features(bi.g, bi.initial_cardinality);
+  inst.degree_skew = inst.features.degree_skew;
   return inst;
 }
 
@@ -307,10 +409,20 @@ std::string json_number(double v) {
 
 JsonRecord to_json_record(const std::string& instance,
                           const std::string& suite, const std::string& algo,
-                          const AlgoResult& r, device::Backend backend) {
-  return {instance,   suite,         algo, r.seconds, r.modeled_seconds,
-          r.launches, r.cardinality, r.ok,
-          std::string(device::backend_name(backend)), r.phases};
+                          const AlgoResult& r, device::Backend backend,
+                          const policy::InstanceFeatures* features) {
+  JsonRecord rec{instance,   suite,         algo, r.seconds, r.modeled_seconds,
+                 r.launches, r.cardinality, r.ok,
+                 std::string(device::backend_name(backend)), r.phases, {}};
+  if (features != nullptr) {
+    rec.features = {{"n", static_cast<double>(features->rows)},
+                    {"m", static_cast<double>(features->cols)},
+                    {"density", features->density},
+                    {"skew", features->degree_skew},
+                    {"hub_mass", features->hub_mass},
+                    {"deficiency_est", features->deficiency_est}};
+  }
+  return rec;
 }
 
 void write_json(const std::string& path, const std::string& bench,
@@ -320,6 +432,7 @@ void write_json(const std::string& path, const std::string& bench,
   std::ofstream out(path);
   if (!out) throw std::runtime_error("write_json: cannot open " + path);
   out << "{\n  \"bench\": \"" << json_escape(bench) << "\",\n"
+      << "  \"schema\": 2,\n"
       << "  \"records\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const JsonRecord& r = records[i];
@@ -336,6 +449,16 @@ void write_json(const std::string& path, const std::string& bench,
       for (const auto& [phase, ms] : r.phases) {
         out << (sep ? ", " : "") << "\"" << json_escape(phase)
             << "\": " << json_number(ms);
+        sep = true;
+      }
+      out << "}";
+    }
+    if (!r.features.empty()) {
+      out << ", \"features\": {";
+      bool sep = false;
+      for (const auto& [name, value] : r.features) {
+        out << (sep ? ", " : "") << "\"" << json_escape(name)
+            << "\": " << json_number(value);
         sep = true;
       }
       out << "}";

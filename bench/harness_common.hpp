@@ -13,6 +13,7 @@
 #include "matching/matching.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "policy/features.hpp"
 #include "util/cli.hpp"
 
 namespace bpm::bench {
@@ -103,7 +104,18 @@ struct BuiltInstance {
   matching::Matching init;
   graph::index_t initial_cardinality = 0;
   graph::index_t maximum_cardinality = 0;  ///< reference ground truth
+  /// Policy features of the instance (size, density, skew, deficiency) —
+  /// the same `policy::compute_features` vector the serving layer caches
+  /// at admission, recorded into every `--json` record so offline tooling
+  /// can correlate timings with instance shape.  Filled by
+  /// `build_instance` / `build_massive_suite`; harnesses that hand-build
+  /// a BuiltInstance call `compute_instance_features` after filling
+  /// `g`/`init`.
+  policy::InstanceFeatures features;
 };
+
+/// Fills `bi.features` from its graph and init (cheap, O(cols)).
+void compute_instance_features(BuiltInstance& bi);
 
 /// Generates the (strided) instance suite at the requested scale and
 /// computes the reference maximum cardinality for result checking.
@@ -126,6 +138,28 @@ struct BuiltInstance {
 /// shard-scaling results stay oracle-verified.
 [[nodiscard]] std::vector<BuiltInstance> build_massive_suite(
     const SuiteOptions& opt);
+
+/// One member of the policy calibration/evaluation suite.
+struct PolicyInstance {
+  std::string suite;  ///< "uniform" | "skew" | "massive" | "structured"
+  BuiltInstance bi;
+};
+
+/// The shared instance suite behind `policy_calibrate` and `auto_policy`:
+/// the uniform and skew groups of `balance_skew` (same generators and
+/// parameters, sized by `n`), a structured group of Table I shapes
+/// (meshes, road networks, co-author graphs — near-perfect greedy inits
+/// where the augmenting-path family beats push-relabel, at
+/// `structured_scale` of the paper sizes; 0 skips the group), plus —
+/// when `massive_scale > 0` — the shard-scaling massive suite at that
+/// scale.  Calibration and evaluation MUST agree on this suite: the
+/// committed cost model's buckets are only meaningful for the shapes they
+/// were measured on, and the headline auto-vs-oracle comparison
+/// re-generates the same shapes (different seeds still land in the same
+/// buckets).
+[[nodiscard]] std::vector<PolicyInstance> build_policy_suite(
+    graph::index_t n, double massive_scale, std::uint64_t seed,
+    double structured_scale = 0.0);
 
 /// Result of timing one algorithm on one instance.  Every runner verifies
 /// the returned matching is valid and maximum against the reference
@@ -209,19 +243,28 @@ struct JsonRecord {
   /// `"phases"` sub-object when non-empty, so records stay byte-identical
   /// to pre-tracing ones when tracing is off.
   std::map<std::string, double> phases;
+  /// Policy features of the instance (n, m, density, skew, hub_mass,
+  /// deficiency_est) — a `"features"` sub-object on every record since
+  /// schema 2, so downstream tooling can correlate timings with instance
+  /// shape without regenerating the graphs.
+  std::map<std::string, double> features;
 };
 
-/// An `AlgoResult` as a record, labels supplied by the caller.
+/// An `AlgoResult` as a record, labels supplied by the caller.  Pass the
+/// instance's `BuiltInstance::features` so the record carries the schema-2
+/// `"features"` sub-object.
 [[nodiscard]] JsonRecord to_json_record(
     const std::string& instance, const std::string& suite,
     const std::string& algo, const AlgoResult& r,
-    device::Backend backend = device::Backend::kSim);
+    device::Backend backend = device::Backend::kSim,
+    const policy::InstanceFeatures* features = nullptr);
 
-/// Writes `{"bench": ..., "records": [...], "summary": {...}}` with a
-/// stable field order, records in input order, and summary metrics sorted
-/// by the caller's order.  Throws `std::runtime_error` if the file cannot
-/// be written.  No-op when `path` is empty, so harnesses can pass
-/// `opt.json_path` unconditionally.
+/// Writes `{"bench": ..., "schema": 2, "records": [...], "summary":
+/// {...}}` with a stable field order, records in input order, and summary
+/// metrics sorted by the caller's order.  Schema 2 adds the per-record
+/// `"features"` sub-object (schema 1 documents were unversioned).  Throws
+/// `std::runtime_error` if the file cannot be written.  No-op when `path`
+/// is empty, so harnesses can pass `opt.json_path` unconditionally.
 void write_json(const std::string& path, const std::string& bench,
                 const std::vector<JsonRecord>& records,
                 const std::vector<std::pair<std::string, double>>& summary);

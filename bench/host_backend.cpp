@@ -177,6 +177,7 @@ int main(int argc, char** argv) {
     bi.initial_cardinality = bi.init.cardinality();
     bi.maximum_cardinality =
         matching::hopcroft_karp(bi.g, bi.init).cardinality();
+    compute_instance_features(bi);
     if (opt.verbose)
       std::cout << "  built " << inst.name << ": " << bi.g.describe() << '\n';
 
@@ -196,7 +197,7 @@ int main(int argc, char** argv) {
         series[group_of(inst.suite)][a].wall[b].push_back(best[b].seconds);
         records.push_back(to_json_record(inst.name, inst.suite,
                                          opt.algos[a].canonical(), best[b],
-                                         kBackends[b]));
+                                         kBackends[b], &bi.features));
       }
       table.add_row({inst.name, inst.suite, opt.algos[a].canonical(),
                      static_cast<std::int64_t>(bi.maximum_cardinality),

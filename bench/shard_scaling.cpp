@@ -155,6 +155,7 @@ int main(int argc, char** argv) {
       bi.initial_cardinality = bi.init.cardinality();
       bi.maximum_cardinality =
           matching::hopcroft_karp(bi.g, bi.init).cardinality();
+      compute_instance_features(bi);
       instances.push_back({"skew", std::move(bi)});
     }
   }
@@ -215,7 +216,7 @@ int main(int argc, char** argv) {
           best.modeled_seconds > 0.0 ? best.modeled_seconds : best.seconds);
       records.push_back(to_json_record(inst.bi.meta.name, inst.suite,
                                        "g-pr-sh:" + cell.label(), best,
-                                       cell.backend));
+                                       cell.backend, &inst.bi.features));
     }
     table.add_row(std::move(row));
   }

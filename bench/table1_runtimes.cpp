@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
       row.push_back(times[i].back());
       records.push_back(to_json_record(bi.meta.name, to_string(bi.meta.cls),
                                        opt.algos[i].canonical(), r,
-                                       opt.backend));
+                                       opt.backend, &bi.features));
     }
     table.add_row(std::move(row));
   }

@@ -24,13 +24,28 @@
 //   gen <name> instance <paper-name> <scale> <seed>
 //   gen <name> huge <rows> <cols> <avg_degree> <hub_fraction> <hub_every> <seed>
 //   submit <instance> <spec> [prio=<n>] [deadline=<ms>]   -> ticket <id>
+//                                      <spec> may be `auto` (recommended
+//                                      default: the policy engine picks the
+//                                      cheapest solver for the instance's
+//                                      features and refines from observed
+//                                      wall times; `auto:explore=0.05` keeps
+//                                      re-measuring non-favourites).  The
+//                                      result line carries the concrete
+//                                      choice as resolved_from=<spec>.
 //   poll <ticket>                      non-blocking status check
 //   wait <ticket>                      block until the result line
 //   drain                              block until the queue is empty
-//   stats                              service + cache + engine counters
-//                                      (over --listen: plus one `client ...`
-//                                      accounting line per connection and a
-//                                      final `transport ...` summary)
+//   stats                              service + cache + engine counters,
+//                                      plus one `solver ...` wall-time line
+//                                      (count / mean / p90 ms) per solved
+//                                      spec (over --listen: plus one
+//                                      `client ...` accounting line per
+//                                      connection and a final
+//                                      `transport ...` summary)
+//   policy                             adaptive-selection state: model
+//                                      bucket count plus one
+//                                      `policy-online ...` line per live
+//                                      (bucket, spec) online estimate
 //   metrics                            global metrics registry as JSON
 //                                      (queue depth, per-engine load, cache
 //                                      hit rate, latency percentiles)

@@ -123,22 +123,12 @@ PipelineInstance admit_instance(std::string name, graph::BipartiteGraph graph,
                   : matching::cheap_matching(inst.graph);
   inst.initial_cardinality = inst.init.cardinality();
   inst.fingerprint = graph::structural_fingerprint(inst.graph);
-  {
-    // Column-degree skew for backend-fit routing — one O(n) pass over the
-    // CSR pointers, amortised over every job this instance will serve.
-    const auto& col_ptr = inst.graph.col_ptr();
-    std::int64_t cols = 0, edges = 0, max_deg = 0;
-    for (std::size_t v = 0; v + 1 < col_ptr.size(); ++v) {
-      const std::int64_t deg = col_ptr[v + 1] - col_ptr[v];
-      if (deg == 0) continue;
-      ++cols;
-      edges += deg;
-      max_deg = std::max(max_deg, deg);
-    }
-    if (edges > 0)
-      inst.degree_skew =
-          static_cast<double>(max_deg) * cols / static_cast<double>(edges);
-  }
+  // Full feature extraction for policy resolution (and backend-fit
+  // routing via `degree_skew`) — O(cols) over the CSR pointers, amortised
+  // over every job this instance will serve.
+  inst.features = policy::compute_features(inst.graph,
+                                           inst.initial_cardinality);
+  inst.degree_skew = inst.features.degree_skew;
   if (options.verify)
     // Ground truth once per instance via Hopcroft–Karp seeded with the
     // shared init (tested against the independent reference in tests/).

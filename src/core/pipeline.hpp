@@ -11,6 +11,7 @@
 #include "device/device.hpp"
 #include "graph/bipartite_graph.hpp"
 #include "matching/matching.hpp"
+#include "policy/features.hpp"
 
 namespace bpm {
 
@@ -86,6 +87,12 @@ struct PipelineInstance {
   /// Dispatchers use it to route skewed instances to engines whose
   /// backend thrives on balanced kernels (`serve::Routing::kBackendFit`).
   double degree_skew = 0.0;
+  /// The full feature vector behind `degree_skew` (size, density, hub
+  /// mass, deficiency), computed once at admission: what
+  /// `policy::AutoSolver` resolves against at dispatch time.  Cached here
+  /// means cached on `serve::InstanceStore` entries, which dedup by
+  /// `fingerprint`.
+  policy::InstanceFeatures features;
 };
 
 /// Builds the per-instance shared state the honoured `options` ask for:

@@ -16,6 +16,7 @@
 #include "matching/seq_pr.hpp"
 #include "matching/verify.hpp"
 #include "multicore/pdbfs.hpp"
+#include "policy/auto_solver.hpp"
 #include "util/timer.hpp"
 
 namespace bpm {
@@ -528,6 +529,12 @@ SolverRegistry::SolverRegistry() {
   add("pf", [] { return std::make_unique<PfSolver>(); });
   add("greedy", [] { return std::make_unique<GreedySolver>(false); });
   add("karp-sipser", [] { return std::make_unique<GreedySolver>(true); });
+  add("auto", [] {
+    // Feature-driven adaptive selection (`policy::AutoSolver`): resolves
+    // to a concrete registered spec per instance from the calibrated cost
+    // model + online estimates.  `auto:model=<path>,explore=<p>` tunes it.
+    return std::make_unique<policy::AutoSolver>();
+  });
   // The paper's shorthand spellings.
   add_alias("g-pr", "g-pr-shr");
   add_alias("pr", "seq-pr");

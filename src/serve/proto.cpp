@@ -326,6 +326,8 @@ Parsed parse_command(std::string_view line, const Limits& limits) {
     done(StatsRequest{}, "stats");
   } else if (cmd == "metrics") {
     done(MetricsRequest{}, "metrics");
+  } else if (cmd == "policy") {
+    done(PolicyRequest{}, "policy");
   } else if (cmd == "trace-start") {
     TraceStartRequest r;
     r.path = d.str("path");
@@ -347,8 +349,8 @@ Parsed parse_command(std::string_view line, const Limits& limits) {
         ErrorCode::kBadCommand,
         "unknown command '" + cmd +
             "' (auth | load | gen | submit | poll | wait | drain | stats | "
-            "metrics | trace-start | trace-dump | save-cache | load-cache | "
-            "shutdown)"};
+            "metrics | policy | trace-start | trace-dump | save-cache | "
+            "load-cache | shutdown)"};
   }
   return out;
 }
@@ -383,6 +385,9 @@ std::string response_line(const Response& r) {
      << " cached=" << (r.cached ? 1 : 0)
      << " cardinality=" << r.stats.cardinality << " queue_ms=" << r.queue_ms
      << " service_ms=" << r.service_ms << " total_ms=" << r.total_ms;
+  // Appended only when policy resolution rewrote the request, so
+  // explicit-traffic output stays byte-identical to the historical format.
+  if (!r.resolved_from.empty()) os << " resolved_from=" << r.resolved_from;
   if (!r.error.empty()) os << " error=" << quoted(r.error);
   return os.str();
 }

@@ -131,6 +131,10 @@ struct WaitRequest {
 struct DrainRequest {};
 struct StatsRequest {};
 struct MetricsRequest {};
+/// Dumps the live policy engine state: cost-model bucket count plus one
+/// line per online (bucket, spec) estimate — how `auto` is currently
+/// deciding.
+struct PolicyRequest {};
 struct TraceStartRequest {
   std::string path;
 };
@@ -146,8 +150,9 @@ struct ShutdownRequest {};
 using Command =
     std::variant<AuthRequest, LoadRequest, GenRequest, SubmitRequest,
                  PollRequest, WaitRequest, DrainRequest, StatsRequest,
-                 MetricsRequest, TraceStartRequest, TraceDumpRequest,
-                 SaveCacheRequest, LoadCacheRequest, ShutdownRequest>;
+                 MetricsRequest, PolicyRequest, TraceStartRequest,
+                 TraceDumpRequest, SaveCacheRequest, LoadCacheRequest,
+                 ShutdownRequest>;
 
 /// What one protocol line parsed into: exactly one of `command` / `error`
 /// is set, or neither for a blank / comment line (`ignorable`).

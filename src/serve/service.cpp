@@ -7,8 +7,16 @@
 #include <string_view>
 #include <utility>
 
+#include "policy/auto_solver.hpp"
+#include "util/stats.hpp"
+
 namespace bpm::serve {
 namespace {
+
+/// Recent-sample window behind each `SolverLatency::p90_ms` — deep enough
+/// for a stable tail estimate, bounded so the table never grows with
+/// uptime.
+constexpr std::size_t kSolverSampleWindow = 512;
 
 double ms_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
@@ -210,6 +218,26 @@ void MatchingService::serve_batch(
   std::uint64_t shared_hits = 0;
   std::uint64_t fanout_hits = 0;
   if (!live.empty()) {
+    // Dispatch-time policy resolution: an `auto` request becomes the
+    // concrete spec the policy engine picks for *this* instance's
+    // features, before the router's load estimate, the caps scan, and
+    // the cache probe — so a resolved auto request shares cache entries,
+    // in-batch dedup, and engine routing with explicit traffic on the
+    // same concrete spec.  A resolution failure (e.g. a stale model
+    // naming an unregistered spec) keeps the AutoSolver in place; its
+    // own run() re-resolves and run_verified turns any throw into a
+    // failed response.
+    for (const std::size_t i : live) {
+      auto* as = dynamic_cast<policy::AutoSolver*>(batch[i]->solver.get());
+      if (as == nullptr) continue;
+      try {
+        policy::AutoSolver::Resolved r = as->resolve(inst.features);
+        batch[i]->resolved_from = std::move(batch[i]->canonical);
+        batch[i]->canonical = r.spec.canonical();
+        batch[i]->solver = std::move(r.solver);
+      } catch (const std::exception&) {
+      }
+    }
     // Lazy engine acquisition via run_admitted_jobs' stream provider: a
     // dispatch served entirely from the cache routes no work and opens
     // no stream.
@@ -282,6 +310,13 @@ void MatchingService::serve_batch(
       r.service_ms = results[k].solve_ms;
       if (results[k].cached)
         ++(results[k].in_batch_dup ? fanout_hits : shared_hits);
+      // Online refinement: every solved request — explicit or resolved
+      // from `auto` — feeds its observed wall time back into the policy
+      // engine's per-bucket estimate for the spec that earned it.  Cache
+      // hits carry no new timing signal and are skipped.
+      if (!results[k].cached && results[k].outcome.ok)
+        policy::PolicyEngine::global().observe(
+            inst.features, batch[live[k]]->canonical, results[k].solve_ms);
     }
   }
 
@@ -308,6 +343,7 @@ void MatchingService::complete(Queued& q, Response&& response) {
   response.ticket = q.ticket;
   response.instance = q.instance;
   response.solver = q.canonical;
+  response.resolved_from = q.resolved_from;
   response.total_ms = ms_since(q.submitted);
 
   metrics_.completed->add();
@@ -331,6 +367,11 @@ void MatchingService::complete(Queued& q, Response&& response) {
         "ticket", static_cast<std::int64_t>(response.ticket));
     args += ',';
     args += obs::arg_json("solver", std::string_view(response.solver));
+    if (!response.resolved_from.empty()) {
+      args += ',';
+      args += obs::arg_json("resolved_from",
+                            std::string_view(response.resolved_from));
+    }
     args += ',';
     args += obs::arg_json("ok", std::string_view(response.ok ? "yes" : "no"));
     if (response.cached) {
@@ -357,6 +398,20 @@ void MatchingService::complete(Queued& q, Response&& response) {
   if (!response.ok) ++stats_.failed;
   stats_.queue_ms_total += response.queue_ms;
   stats_.service_ms_total += response.service_ms;
+  // Per-solver latency table: solved requests only (cache hits report a
+  // zero service time that would poison the mean), keyed by the resolved
+  // canonical spec so auto traffic is judged under its concrete picks.
+  if (response.ok && !response.cached && response.service_ms > 0.0) {
+    SolverObservation& o = solver_observed_[response.solver];
+    ++o.count;
+    o.total_ms += response.service_ms;
+    if (o.recent.size() < kSolverSampleWindow) {
+      o.recent.push_back(response.service_ms);
+    } else {
+      o.recent[o.next] = response.service_ms;
+      o.next = (o.next + 1) % kSolverSampleWindow;
+    }
+  }
   pending_.at(q.ticket).promise.set_value(std::move(response));
   // Ledger GC: evict the oldest completed tickets beyond the retention
   // bound, so a month-long submit loop holds bounded memory.  Futures a
@@ -453,6 +508,21 @@ void MatchingService::shutdown() {
   work_cv_.notify_all();
   for (std::thread& worker : workers_)
     if (worker.joinable()) worker.join();
+}
+
+std::vector<SolverLatency> MatchingService::solver_stats() const {
+  const std::unique_lock lock(mutex_);
+  std::vector<SolverLatency> out;
+  out.reserve(solver_observed_.size());
+  for (const auto& [spec, o] : solver_observed_) {  // map: sorted by spec
+    SolverLatency row;
+    row.spec = spec;
+    row.count = o.count;
+    row.mean_ms = o.count > 0 ? o.total_ms / static_cast<double>(o.count) : 0.0;
+    row.p90_ms = percentile(o.recent, 90.0);
+    out.push_back(std::move(row));
+  }
+  return out;
 }
 
 ServiceStats MatchingService::stats() const {

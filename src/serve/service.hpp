@@ -57,6 +57,11 @@ struct Response {
   /// — the result itself is gone; `ok` is false and `error` says so.
   bool evicted = false;
   std::string error;
+  /// Provenance when dispatch-time policy resolution rewrote the request:
+  /// the spec the client actually asked for (e.g. "auto:explore=0.1")
+  /// while `solver` reports the concrete spec the policy picked.  Empty
+  /// for explicit requests.
+  std::string resolved_from;
   double queue_ms = 0.0;    ///< admission queue wait
   double service_ms = 0.0;  ///< own solve + verify (0 for cache hits)
   double total_ms = 0.0;    ///< submission to completion
@@ -152,6 +157,18 @@ struct ServiceStats {
   double service_ms_total = 0.0;
 };
 
+/// Observed wall-time distribution of one resolved solver spec across the
+/// service's lifetime — the per-solver latency table behind `bpm_serve
+/// stats`.  Mean is over every solved (non-cached) request; p90 is over a
+/// bounded window of the most recent samples so a month-long process keeps
+/// a current tail, not an all-time one.
+struct SolverLatency {
+  std::string spec;  ///< canonical resolved spec (post-policy)
+  std::uint64_t count = 0;
+  double mean_ms = 0.0;
+  double p90_ms = 0.0;
+};
+
 /// A long-running matching service: owns a pool of `device::Engine`s (a
 /// `serve::EngineGroup`) for its whole lifetime, a fingerprint-deduped
 /// `InstanceStore`, and (optionally) a persistent `ResultCache`; accepts
@@ -226,6 +243,12 @@ class MatchingService {
 
   [[nodiscard]] ServiceStats stats() const;
 
+  /// Per-solver latency table: one row per resolved canonical spec that
+  /// has completed at least one solved (non-cached) request, sorted by
+  /// spec.  `auto` traffic appears under the concrete specs the policy
+  /// resolved it to — this table is what the resolutions are judged by.
+  [[nodiscard]] std::vector<SolverLatency> solver_stats() const;
+
   /// Swaps the trace sink (null detaches).  Takes effect on the next
   /// dispatch; the tracer must outlive every in-flight request recorded
   /// into it.
@@ -267,6 +290,9 @@ class MatchingService {
     int priority = 0;
     double deadline_ms = 0.0;
     std::string canonical;  ///< cache key + reported solver label
+    /// The submitted spec when dispatch-time policy resolution replaced
+    /// `canonical`/`solver` with a concrete pick (empty otherwise).
+    std::string resolved_from;
     std::unique_ptr<Solver> solver;
     std::chrono::steady_clock::time_point submitted;
   };
@@ -321,6 +347,16 @@ class MatchingService {
   std::map<std::uint64_t, Pending> pending_;  ///< ticket -> future state
   /// Completed tickets, oldest first — the GC order of the ledger.
   std::deque<std::uint64_t> completed_order_;
+  /// Per-resolved-spec wall-time accumulators behind `solver_stats()`:
+  /// lifetime count/total plus a bounded ring of recent samples for the
+  /// p90.  Guarded by `mutex_` (updated in `complete`).
+  struct SolverObservation {
+    std::uint64_t count = 0;
+    double total_ms = 0.0;
+    std::vector<double> recent;  ///< ring buffer, kSolverSampleWindow deep
+    std::size_t next = 0;        ///< ring cursor
+  };
+  std::map<std::string, SolverObservation> solver_observed_;
   ServiceStats stats_;
   std::uint64_t next_ticket_ = 1;
   std::size_t in_flight_ = 0;

@@ -8,6 +8,7 @@
 #include "graph/instances.hpp"
 #include "graph/matrix_market.hpp"
 #include "obs/metrics.hpp"
+#include "policy/auto_solver.hpp"
 
 namespace bpm::serve {
 
@@ -210,6 +211,15 @@ void Session::handle(const proto::StatsRequest&, Outcome& out) {
        << " insertions=" << c.insertions << " evictions=" << c.evictions;
     out.lines.push_back(cs.str());
   }
+  // Per-solver latency table: one line per resolved spec that has solved
+  // at least one request — `auto` traffic shows up under its concrete
+  // picks, so this table is how an operator judges the policy's choices.
+  for (const SolverLatency& l : context_.service.solver_stats()) {
+    std::ostringstream ls;
+    ls << "solver " << l.spec << " count=" << l.count
+       << " mean_ms=" << l.mean_ms << " p90_ms=" << l.p90_ms;
+    out.lines.push_back(ls.str());
+  }
   // Per-engine line: what the engine IS (the full EngineDescriptor
   // summary) right next to what it is DOING (load and lifetime odometers).
   for (const EngineGroupEngineStats& e :
@@ -242,6 +252,24 @@ void Session::handle(const proto::MetricsRequest&, Outcome& out) {
         .set(static_cast<double>(c.entries));
   }
   out.lines.push_back(obs::Registry::global().snapshot_json());
+}
+
+void Session::handle(const proto::PolicyRequest&, Outcome& out) {
+  // Live view of how `auto` is deciding: the calibrated model's coverage
+  // plus every online (bucket, spec) estimate refined so far.
+  policy::PolicyEngine& engine = policy::PolicyEngine::global();
+  const std::vector<policy::PolicyEngine::OnlineEstimate> online =
+      engine.online_snapshot();
+  std::ostringstream hs;
+  hs << "policy model_buckets=" << engine.model_snapshot().bucket_count()
+     << " online_cells=" << online.size();
+  out.lines.push_back(hs.str());
+  for (const auto& est : online) {
+    std::ostringstream os;
+    os << "policy-online bucket=" << est.bucket << " spec=" << est.spec
+       << " us_per_edge=" << est.us_per_edge << " samples=" << est.samples;
+    out.lines.push_back(os.str());
+  }
 }
 
 void Session::handle(const proto::TraceStartRequest& r, Outcome& out) {
